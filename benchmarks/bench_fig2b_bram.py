@@ -1,0 +1,71 @@
+"""Figure 2(b) — BRAM usage vs input resize factor at FM12..FM16.
+
+The paper's motivational study: shrinking the input keeps accuracy
+within 1% but BRAM allocation only drops when the (power-of-two) buffer
+depth boundary is crossed — "save half memory when the factor is smaller
+than 0.9" in their AlexNet accelerator; our model's cliff sits at the
+same boundary mechanism (measured crossover recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import print_table
+
+from repro.hardware.fpga import fm_buffer_bram36
+
+RESIZE_FACTORS = (1.00, 0.95, 0.90, 0.85, 0.80, 0.78, 0.75, 0.70)
+FM_BITS = (12, 13, 14, 15, 16)
+IMAGE_HW = (224, 224)  # the motivational study's AlexNet input
+
+
+def sweep() -> dict[int, list[int]]:
+    return {
+        bits: [
+            fm_buffer_bram36(IMAGE_HW, bits, resize_factor=r)
+            for r in RESIZE_FACTORS
+        ]
+        for bits in FM_BITS
+    }
+
+
+def test_fig2b_bram_vs_resize(benchmark):
+    result = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    rows = [
+        [f"FM{bits}"] + result[bits] for bits in FM_BITS
+    ]
+    print_table(
+        "Fig. 2(b) — FM-buffer BRAM36 vs input resize factor",
+        ["config"] + [f"r={r:.2f}" for r in RESIZE_FACTORS],
+        rows,
+    )
+    for bits in FM_BITS:
+        vals = result[bits]
+        # monotone non-increasing as the input shrinks
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+        # the paper's effect: below the boundary the allocation
+        # (roughly) halves — ceil rounding leaves a block or two
+        assert min(vals) <= vals[0] * 0.55
+    # larger FM precision never uses fewer BRAMs at equal resize
+    for i, r in enumerate(RESIZE_FACTORS):
+        col = [result[b][i] for b in FM_BITS]
+        assert all(b >= a for a, b in zip(col, col[1:]))
+
+
+def crossover_factor(bits: int = 14) -> float:
+    """The resize factor at which allocation first halves."""
+    base = fm_buffer_bram36(IMAGE_HW, bits, 1.0)
+    for r in np.arange(1.0, 0.5, -0.01):
+        if fm_buffer_bram36(IMAGE_HW, bits, float(r)) <= base / 2:
+            return float(r)
+    return 0.5
+
+
+if __name__ == "__main__":
+    res = sweep()
+    print_table(
+        "Fig. 2(b)",
+        ["config"] + [f"r={r:.2f}" for r in RESIZE_FACTORS],
+        [[f"FM{b}"] + res[b] for b in FM_BITS],
+    )
+    print(f"halving crossover (FM14): r = {crossover_factor():.2f}")

@@ -1,0 +1,51 @@
+"""Figure 2(c) — DSP utilization vs weight/feature-map bit widths.
+
+Reproduces the paper's observation that "small changes may lead to
+diverse DSP utilization": with 128 multiplier lanes and 16-bit FMs,
+moving weights from 15 to 14 bits halves DSP usage from 128 to 64
+(two products pack into one DSP48E2 once the weight fits the packed
+port).
+"""
+
+from __future__ import annotations
+
+from common import print_table
+
+from repro.hardware.fpga import dsp_count
+
+LANES = 128
+W_BITS = (11, 12, 13, 14, 15, 16, 17, 18)
+FM_BITS = (12, 13, 14, 15, 16)
+
+
+def sweep() -> dict[int, list[int]]:
+    return {
+        fm: [dsp_count(LANES, w, fm) for w in W_BITS] for fm in FM_BITS
+    }
+
+
+def test_fig2c_dsp_vs_bits(benchmark):
+    result = benchmark.pedantic(sweep, rounds=5, iterations=1)
+    rows = [[f"FM{fm}"] + result[fm] for fm in FM_BITS]
+    print_table(
+        f"Fig. 2(c) — DSPs for {LANES} multiplier lanes",
+        ["config"] + [f"W{w}" for w in W_BITS],
+        rows,
+    )
+    # the exact numbers the paper calls out
+    fm16 = dict(zip(W_BITS, result[16]))
+    assert fm16[15] == 128
+    assert fm16[14] == 64
+    # monotone non-decreasing in weight bits at fixed FM bits
+    for fm in FM_BITS:
+        vals = result[fm]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+if __name__ == "__main__":
+    res = sweep()
+    print_table(
+        "Fig. 2(c)",
+        ["config"] + [f"W{w}" for w in W_BITS],
+        [[f"FM{fm}"] + res[fm] for fm in FM_BITS],
+    )

@@ -1,0 +1,74 @@
+"""Eq. (5) sensitivity — why SkyNet trades speed for accuracy.
+
+Section 6.4.1: "Since accuracy has higher weight in the total score
+calculation (Equation 5), we pick scheme 1" — and Table 6 shows SkyNet
+winning the FPGA track while running *half* as fast as the runner-up.
+This bench quantifies that design logic: starting from SkyNet's
+published operating point, it sweeps hypothetical accuracy-for-speed
+trades and shows the total score falls when IoU is sacrificed for FPS,
+on both tracks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from common import print_table
+
+from repro.contest import FPGA_2019, FPGA_TRACK, GPU_2019, GPU_TRACK
+from repro.contest.scoring import implied_field_energy, score_entries
+
+
+def sweep(track_name: str):
+    field = list(GPU_2019) if track_name == "gpu" else list(FPGA_2019)
+    track = GPU_TRACK if track_name == "gpu" else FPGA_TRACK
+    e_bar = implied_field_energy(field, track)
+    skynet = next(e for e in field if "SkyNet" in e.name)
+    others = [e.as_dict() for e in field if "SkyNet" not in e.name]
+
+    # trade d points of IoU for proportional FPS (a pruning/quantization
+    # style trade: each IoU point buys ~8% more throughput)
+    rows = []
+    for d_iou in (0.0, 0.02, 0.05, 0.10, 0.15):
+        variant = {
+            "name": f"SkyNet(-{d_iou:.2f} IoU)",
+            "iou": skynet.iou - d_iou,
+            "fps": skynet.fps * (1 + 8.0 * d_iou),
+            "power_w": skynet.power_w,
+        }
+        scored = score_entries([variant] + others, track,
+                               field_energy=e_bar)
+        ts = next(s for s in scored if "SkyNet" in s.name)
+        wins = "yes" if scored[0].name == variant["name"] else "no"
+        rows.append((d_iou, variant["iou"], variant["fps"],
+                     ts.total_score, wins))
+    return rows
+
+
+def test_score_sensitivity(benchmark):
+    gpu_rows, fpga_rows = benchmark.pedantic(
+        lambda: (sweep("gpu"), sweep("fpga")), rounds=1, iterations=1
+    )
+    for name, rows in (("GPU", gpu_rows), ("FPGA", fpga_rows)):
+        print_table(
+            f"Eq. (5) sensitivity — {name} track: trading IoU for FPS",
+            ["IoU sacrificed", "IoU", "FPS", "total score", "still wins?"],
+            [[f"{d:.2f}", f"{iou:.3f}", f"{fps:.1f}", f"{ts:.3f}", w]
+             for d, iou, fps, ts, w in rows],
+        )
+    # accuracy dominates: the untraded operating point scores highest
+    for rows in (gpu_rows, fpga_rows):
+        scores = [r[3] for r in rows]
+        assert scores[0] == max(scores)
+        # large accuracy sacrifices lose the track despite huge FPS
+        assert rows[-1][4] == "no" or scores[-1] < scores[0]
+    # the effect is stronger on the GPU track (log base 10 damps the
+    # energy reward more than the FPGA track's log base 2)
+    gpu_drop = gpu_rows[0][3] - gpu_rows[-1][3]
+    fpga_drop = fpga_rows[0][3] - fpga_rows[-1][3]
+    assert gpu_drop > fpga_drop
+
+
+if __name__ == "__main__":
+    print(sweep("gpu"))
+    print(sweep("fpga"))

@@ -1,0 +1,90 @@
+"""Table 5 — DAC-SDC GPU-track final results (TX2, hidden test set).
+
+Two reproductions are printed:
+
+1. **Scoring recomputation** — Eqs. (2)-(5) applied to the published
+   IoU/FPS/power columns with the field-average energy recovered from
+   the published rows: reproduces every total score to ~3 decimals.
+2. **Our modeled SkyNet row** — throughput from the TX2 latency model +
+   system schedule, power from the utilization model, accuracy measured
+   on the synthetic held-out split (absolute IoU is not comparable to
+   the real DAC-SDC IoU — the dataset is a synthetic stand-in; the FPS
+   and power columns are the modeled reproduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+from common import contest_descriptor, print_table, trained_skynet
+
+from repro.contest import (
+    GPU_2018,
+    GPU_2019,
+    GPU_TRACK,
+    evaluate_submission,
+    score_entries,
+)
+from repro.contest.scoring import implied_field_energy
+from repro.hardware.spec import TX2
+
+
+def recompute_field():
+    field = list(GPU_2019)
+    e_bar = implied_field_energy(field, GPU_TRACK)
+    return score_entries([e.as_dict() for e in field], GPU_TRACK,
+                         field_energy=e_bar), field
+
+
+def our_submission():
+    det, iou = trained_skynet()
+    desc = contest_descriptor(det.backbone.__class__("C"))  # full-size net
+    from common import detection_data
+
+    _, val = detection_data()
+    return evaluate_submission(det, val, desc, TX2, batch=4,
+                               utilization=0.85)
+
+
+def test_table5_scoring_recomputation(benchmark):
+    scored, field = benchmark.pedantic(recompute_field, rounds=1,
+                                       iterations=1)
+    rows = [
+        [s.name, f"{s.iou:.3f}", f"{s.fps:.2f}", f"{s.power_w:.2f}",
+         f"{s.total_score:.3f}"]
+        for s in scored
+    ]
+    print_table(
+        "Table 5 (2019 rows, recomputed with Eqs. 2-5)",
+        ["team", "IoU", "FPS", "Power(W)", "Total score"],
+        rows,
+    )
+    published = {e.name: e.total_score for e in field}
+    for s in scored:
+        assert s.total_score == pytest.approx(published[s.name], abs=0.01)
+    assert "SkyNet" in scored[0].name  # SkyNet wins the track
+
+
+def test_table5_modeled_skynet_row(benchmark):
+    sub = benchmark.pedantic(our_submission, rounds=1, iterations=1)
+    rows = [
+        ["SkyNet (paper)", "0.731", "67.33", "13.50"],
+        ["SkyNet (repro, modeled)", f"{sub.iou:.3f}*", f"{sub.fps:.2f}",
+         f"{sub.power_w:.2f}"],
+    ]
+    print_table(
+        "Table 5 — our modeled SkyNet system row "
+        "(*synthetic-data IoU, not comparable in absolute terms)",
+        ["entry", "IoU", "FPS", "Power(W)"],
+        rows,
+    )
+    # the hardware-side reproduction targets
+    assert sub.fps == pytest.approx(67.33, rel=0.05)
+    assert sub.power_w == pytest.approx(13.50, rel=0.08)
+    assert sub.iou > 0.15  # the tiny trained model genuinely detects
+
+
+if __name__ == "__main__":
+    scored, _ = recompute_field()
+    for s in scored:
+        print(s)
+    print(our_submission())

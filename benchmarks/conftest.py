@@ -1,0 +1,1 @@
+"""Benchmark-suite conftest (keeps the directory importable for common.py)."""

@@ -1,0 +1,35 @@
+"""SkyNet reproduction (Zhang et al., MLSys 2020).
+
+A pure-NumPy implementation of SkyNet — the hardware-efficient object
+detection/tracking DNN that won both tracks of DAC-SDC'19 — together
+with every substrate the paper's evaluation needs: a small autograd
+deep-learning framework, a baseline backbone zoo, synthetic stand-ins
+for the DAC-SDC and GOT-10K datasets, analytic GPU/FPGA performance
+models, the DAC-SDC scoring pipeline, the bottom-up (Bundle + PSO)
+design flow, and Siamese trackers.
+
+Quick start::
+
+    from repro.core import SkyNetBackbone
+    from repro.detection import Detector, DetectionTrainer, TrainConfig
+    from repro.datasets import make_dacsdc_splits
+
+    train, val = make_dacsdc_splits(300, 100)
+    det = Detector(SkyNetBackbone("C", width_mult=0.25))
+    result = DetectionTrainer(det, TrainConfig(epochs=10)).fit(train, val)
+    print(result.final_iou)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "core",
+    "detection",
+    "datasets",
+    "hardware",
+    "contest",
+    "zoo",
+    "tracking",
+    "utils",
+]

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the library's main workflows without writing code:
+
+* ``train``    — train a SkyNet detector on synthetic DAC-SDC data.
+* ``evaluate`` — evaluate a saved checkpoint on a fresh synthetic split.
+* ``profile``  — layer/MAC/latency profile of any backbone on TX2+Ultra96.
+* ``search``   — run the bottom-up design flow at a small budget.
+* ``score``    — recompute the DAC-SDC'19 score tables (Eqs. 2-5).
+* ``dataset``  — generate and save a synthetic dataset archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SkyNet reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="train a SkyNet detector")
+    p.add_argument("--config", default="C", choices=["A", "B", "C"])
+    p.add_argument("--activation", default="relu6",
+                   choices=["relu", "relu6"])
+    p.add_argument("--width", type=float, default=0.25)
+    p.add_argument("--epochs", type=int, default=12)
+    p.add_argument("--images", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="skynet.npz")
+
+    p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    p.add_argument("checkpoint")
+    p.add_argument("--images", type=int, default=64)
+    p.add_argument("--seed", type=int, default=99)
+    p.add_argument("--quantize", default=None,
+                   help="W,FM fixed-point bits, e.g. 11,9")
+
+    p = sub.add_parser("profile", help="profile a backbone")
+    p.add_argument("backbone")
+    p.add_argument("--width", type=float, default=1.0)
+    p.add_argument("--height", type=int, default=160)
+    p.add_argument("--input-width", type=int, default=320)
+    p.add_argument("--verbose", action="store_true")
+
+    p = sub.add_parser("search", help="run the bottom-up design flow")
+    p.add_argument("--images", type=int, default=96)
+    p.add_argument("--particles", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("score", help="recompute the DAC-SDC'19 tables")
+    p.add_argument("--track", default="both",
+                   choices=["gpu", "fpga", "both"])
+
+    p = sub.add_parser("dataset", help="generate a synthetic dataset")
+    p.add_argument("--kind", default="dacsdc",
+                   choices=["dacsdc", "got10k", "youtubevos"])
+    p.add_argument("--n", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="dataset.npz")
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# command implementations
+# --------------------------------------------------------------------- #
+def _cmd_train(args) -> int:
+    from .core import SkyNetBackbone
+    from .datasets import make_dacsdc_splits
+    from .detection import DetectionTrainer, Detector, TrainConfig, YoloHead
+    from .detection.anchors import kmeans_anchors
+    from .nn import save_model
+
+    train, val = make_dacsdc_splits(
+        args.images, max(8, args.images // 5), image_hw=(48, 96),
+        seed=args.seed,
+    )
+    anchors = kmeans_anchors(train.boxes[:, 2:4], k=2,
+                             rng=np.random.default_rng(args.seed))
+    backbone = SkyNetBackbone(args.config, activation=args.activation,
+                              width_mult=args.width,
+                              rng=np.random.default_rng(args.seed))
+    detector = Detector(
+        backbone,
+        head=YoloHead(backbone.out_channels, anchors,
+                      rng=np.random.default_rng(args.seed + 1)),
+    )
+    result = DetectionTrainer(
+        detector,
+        TrainConfig(epochs=args.epochs, batch_size=16, seed=args.seed),
+    ).fit(train, val)
+    save_model(detector, args.out)
+    meta = {
+        "config": args.config,
+        "activation": args.activation,
+        "width": args.width,
+        "anchors": anchors.tolist(),
+        "final_iou": result.final_iou,
+    }
+    with open(args.out + ".json", "w") as fh:
+        json.dump(meta, fh, indent=2)
+    print(f"final IoU {result.final_iou:.3f}; saved {args.out} (+ .json)")
+    return 0
+
+
+def _load_checkpoint(path: str):
+    from .core import SkyNetBackbone
+    from .detection import Detector, YoloHead
+    from .nn import load_model
+
+    with open(path + ".json") as fh:
+        meta = json.load(fh)
+    backbone = SkyNetBackbone(meta["config"], activation=meta["activation"],
+                              width_mult=meta["width"])
+    detector = Detector(
+        backbone, head=YoloHead(backbone.out_channels,
+                                np.asarray(meta["anchors"]))
+    )
+    load_model(detector, path)
+    return detector, meta
+
+
+def _cmd_evaluate(args) -> int:
+    from .datasets import make_dacsdc
+    from .detection.metrics import evaluate_detector
+    from .hardware.quantization import quantized_inference
+
+    detector, meta = _load_checkpoint(args.checkpoint)
+    val = make_dacsdc(args.images, image_hw=(48, 96), seed=args.seed)
+    if args.quantize:
+        w_bits, fm_bits = (int(v) for v in args.quantize.split(","))
+        with quantized_inference(detector, w_bits, fm_bits):
+            iou = evaluate_detector(detector, val.images, val.boxes)
+        print(f"IoU (W{w_bits}/FM{fm_bits}): {iou:.3f}")
+    else:
+        iou = evaluate_detector(detector, val.images, val.boxes)
+        print(f"IoU (fp32): {iou:.3f}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .hardware.fpga import FpgaLatencyModel
+    from .hardware.gpu import GpuLatencyModel
+    from .hardware.profiler import profile_network
+    from .hardware.spec import TX2, ULTRA96
+    from .zoo import build_backbone
+
+    backbone = build_backbone(args.backbone, width_mult=args.width)
+    hw = (args.height, args.input_width)
+    desc = backbone.layer_descriptors(hw)
+    profile = profile_network(desc)
+    print(f"{desc.name} @ {hw[0]}x{hw[1]} (width_mult={args.width})")
+    print(f"  params: {profile.params / 1e6:.3f} M "
+          f"({profile.param_mb_fp32:.2f} MB fp32)")
+    print(f"  MACs:   {profile.gmacs:.3f} G")
+    tx2 = GpuLatencyModel(TX2, batch=1).per_frame_latency_ms(desc)
+    u96 = FpgaLatencyModel(ULTRA96, batch=1).per_frame_latency_ms(desc)
+    print(f"  TX2:    {tx2:.2f} ms/frame ({1e3 / tx2:.1f} FPS)")
+    print(f"  Ultra96:{u96:.2f} ms/frame ({1e3 / u96:.1f} FPS)")
+    if args.verbose:
+        print(desc.summary())
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from .core import BUNDLE_CATALOG, BottomUpFlow, FlowConfig, PSOConfig
+    from .datasets import make_dacsdc_splits
+
+    train, val = make_dacsdc_splits(args.images, max(8, args.images // 4),
+                                    image_hw=(32, 64), seed=args.seed)
+    flow = BottomUpFlow(
+        train, val,
+        config=FlowConfig(
+            sketch_channels=(8, 16, 24, 32),
+            sketch_epochs=1,
+            max_selected_bundles=2,
+            pso=PSOConfig(particles_per_group=args.particles,
+                          iterations=args.iterations, epochs_base=1,
+                          depth=5, n_pools=3),
+            final_epochs=4,
+        ),
+        catalog=BUNDLE_CATALOG[:4],
+    )
+    result = flow.run(np.random.default_rng(args.seed))
+    dna = result.final_dna
+    print(f"winner: bundle={dna.bundle.name} channels={dna.channels} "
+          f"pools={dna.pool_positions}")
+    print(f"stage-3: bypass={dna.bypass} activation={dna.activation}")
+    print(f"final IoU: {result.final_iou:.3f}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from .contest import (FPGA_2019, FPGA_TRACK, GPU_2019, GPU_TRACK,
+                          score_entries)
+    from .contest.scoring import implied_field_energy
+    from .utils import format_table
+
+    tracks = []
+    if args.track in ("gpu", "both"):
+        tracks.append(("GPU (Table 5)", list(GPU_2019), GPU_TRACK))
+    if args.track in ("fpga", "both"):
+        tracks.append(("FPGA (Table 6)", list(FPGA_2019), FPGA_TRACK))
+    for title, field, cfg in tracks:
+        e_bar = implied_field_energy(field, cfg)
+        scored = score_entries([e.as_dict() for e in field], cfg,
+                               field_energy=e_bar)
+        print(format_table(
+            ["team", "IoU", "FPS", "Power(W)", "Total score"],
+            [[s.name, f"{s.iou:.3f}", f"{s.fps:.2f}", f"{s.power_w:.2f}",
+              f"{s.total_score:.3f}"] for s in scored],
+            title=title,
+        ))
+        print()
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from .datasets import make_dacsdc, make_got10k, make_youtubevos
+    from .datasets.io import save_detection_dataset, save_tracking_dataset
+
+    if args.kind == "dacsdc":
+        ds = make_dacsdc(args.n, image_hw=(48, 96), seed=args.seed)
+        save_detection_dataset(ds, args.out)
+        print(f"saved {len(ds)} detection images to {args.out}")
+    else:
+        maker = make_got10k if args.kind == "got10k" else make_youtubevos
+        ds = maker(args.n, seq_len=10, image_hw=(64, 64), seed=args.seed)
+        save_tracking_dataset(ds, args.out)
+        print(f"saved {len(ds)} sequences ({ds.total_frames()} frames) "
+              f"to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "profile": _cmd_profile,
+    "search": _cmd_search,
+    "score": _cmd_score,
+    "dataset": _cmd_dataset,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""DAC-SDC contest scoring, published fields, and evaluation driver."""
+
+from .entries import (
+    FPGA_2018,
+    FPGA_2019,
+    GPU_2018,
+    GPU_2019,
+    OPTIMIZATIONS,
+    TAXONOMY,
+    ContestEntry,
+)
+from .evaluation import Submission, evaluate_submission, run_track
+from .scoring import (
+    FPGA_TRACK,
+    implied_field_energy,
+    GPU_TRACK,
+    ScoredEntry,
+    TrackConfig,
+    average_energy,
+    energy_score,
+    iou_score,
+    score_entries,
+    total_score,
+)
+
+__all__ = [
+    "ContestEntry",
+    "GPU_2019",
+    "GPU_2018",
+    "FPGA_2019",
+    "FPGA_2018",
+    "TAXONOMY",
+    "OPTIMIZATIONS",
+    "Submission",
+    "evaluate_submission",
+    "run_track",
+    "TrackConfig",
+    "GPU_TRACK",
+    "FPGA_TRACK",
+    "ScoredEntry",
+    "iou_score",
+    "average_energy",
+    "energy_score",
+    "total_score",
+    "score_entries",
+    "implied_field_energy",
+]

@@ -1,0 +1,113 @@
+"""Published DAC-SDC results and design taxonomy (Tables 1, 5, 6).
+
+Competitor rows are literature constants from the paper; our own SkyNet
+rows in the score benches are *recomputed* from the trained model and
+the hardware models, then scored against these fields with the exact
+contest equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ContestEntry",
+    "GPU_2019",
+    "GPU_2018",
+    "FPGA_2019",
+    "FPGA_2018",
+    "TAXONOMY",
+    "OPTIMIZATIONS",
+]
+
+
+@dataclass(frozen=True)
+class ContestEntry:
+    """One published contest result (Tables 5/6)."""
+
+    name: str
+    iou: float
+    fps: float
+    power_w: float
+    total_score: float  # as published, for cross-checking our recompute
+    year: int
+    track: str
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "iou": self.iou,
+            "fps": self.fps,
+            "power_w": self.power_w,
+        }
+
+
+# ---------------------------- Table 5 (GPU) ---------------------------- #
+GPU_2019 = (
+    ContestEntry("SkyNet (ours)", 0.731, 67.33, 13.50, 1.504, 2019, "gpu"),
+    ContestEntry("Thinker", 0.713, 28.79, 8.55, 1.442, 2019, "gpu"),
+    ContestEntry("DeepZS", 0.723, 26.37, 15.12, 1.422, 2019, "gpu"),
+)
+GPU_2018 = (
+    ContestEntry("ICT-CAS", 0.698, 24.55, 12.58, 1.373, 2018, "gpu"),
+    ContestEntry("DeepZ", 0.691, 25.30, 13.27, 1.359, 2018, "gpu"),
+    ContestEntry("SDU-Legend", 0.685, 23.64, 10.31, 1.358, 2018, "gpu"),
+)
+
+# ---------------------------- Table 6 (FPGA) --------------------------- #
+FPGA_2019 = (
+    ContestEntry("SkyNet (ours)", 0.716, 25.05, 7.26, 1.526, 2019, "fpga"),
+    ContestEntry("XJTU Tripler", 0.615, 50.91, 9.25, 1.394, 2019, "fpga"),
+    ContestEntry("SystemsETHZ", 0.553, 55.13, 6.69, 1.318, 2019, "fpga"),
+)
+FPGA_2018 = (
+    ContestEntry("TGIIF", 0.624, 11.96, 4.20, 1.267, 2018, "fpga"),
+    ContestEntry("SystemsETHZ", 0.492, 25.97, 2.45, 1.179, 2018, "fpga"),
+    ContestEntry("iSmart2", 0.573, 7.35, 2.59, 1.164, 2018, "fpga"),
+)
+
+# ---------------------------- Table 1 taxonomy ------------------------- #
+OPTIMIZATIONS = {
+    1: "input resizing",
+    2: "network pruning",
+    3: "data quantization",
+    4: "TensorRT",
+    5: "CPU-FPGA task partition",
+    6: "double-pumped DSP",
+    7: "fine-grained pipeline",
+    8: "clock gating",
+    9: "multithreading",
+}
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One Table 1 row: a winning entry's reference DNN + optimizations."""
+
+    rank: str
+    team: str
+    track: str
+    reference_dnn: str
+    optimizations: tuple[int, ...] = field(default=())
+
+    def optimization_names(self) -> list[str]:
+        return [OPTIMIZATIONS[i] for i in self.optimizations]
+
+
+TAXONOMY = (
+    TaxonomyRow("'19 2nd", "Thinker", "gpu", "ShuffleNet + RetinaNet",
+                (1, 2, 3, 9)),
+    TaxonomyRow("'19 3rd", "DeepZS", "gpu", "Tiny YOLO", (9,)),
+    TaxonomyRow("'18 1st", "ICT-CAS", "gpu", "Tiny YOLO", (1, 2, 3, 4)),
+    TaxonomyRow("'18 2nd", "DeepZ", "gpu", "Tiny YOLO", (9,)),
+    TaxonomyRow("'18 3rd", "SDU-Legend", "gpu", "YOLOv2", (1, 2, 3, 9)),
+    TaxonomyRow("'19 2nd", "XJTU Tripler", "fpga", "ShuffleNetV2 + YOLO",
+                (2, 3, 5, 6, 8)),
+    TaxonomyRow("'19 3rd", "SystemsETHZ", "fpga", "SqueezeNet + YOLO",
+                (1, 2, 3, 7)),
+    TaxonomyRow("'18 1st", "TGIIF", "fpga", "SSD", (1, 2, 3, 5, 6)),
+    TaxonomyRow("'18 2nd", "SystemsETHZ", "fpga", "SqueezeNet + YOLO",
+                (1, 2, 3, 7)),
+    TaxonomyRow("'18 3rd", "iSmart2", "fpga", "MobileNet + YOLO",
+                (1, 2, 3, 5, 7)),
+)

@@ -1,0 +1,142 @@
+"""End-to-end contest evaluation of a submission.
+
+Glues the pieces together the way the organizers would: run the detector
+over the (held-out) test split for accuracy, take throughput and power
+from the device models, then score the whole field with Eqs. (2)-(5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.dacsdc import DetectionDataset
+from ..detection.metrics import evaluate_detector
+from ..hardware.descriptor import NetDescriptor
+from ..hardware.energy import PowerModel
+from ..hardware.fpga.latency import FpgaLatencyModel
+from ..hardware.gpu.latency import GpuLatencyModel
+from ..hardware.pipeline import PipelineSimulator, Stage
+from ..hardware.spec import FpgaSpec, GpuSpec
+from .scoring import FPGA_TRACK, GPU_TRACK, ScoredEntry, score_entries
+
+__all__ = ["Submission", "evaluate_submission", "run_track"]
+
+
+@dataclass(frozen=True)
+class Submission:
+    """Our entry: measured accuracy + modeled system performance."""
+
+    name: str
+    iou: float
+    fps: float
+    power_w: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "iou": self.iou,
+            "fps": self.fps,
+            "power_w": self.power_w,
+        }
+
+
+# Host-side per-frame stage costs (ms), calibrated once so the serial
+# baseline vs the optimized schedule reproduces the paper's 3.35x system
+# speedup on TX2 (Section 6.3); see DESIGN.md §5.  The optimized design
+# merges fetch+pre-process and runs them on worker threads.
+FETCH_MS_PER_FRAME = 10.0
+PRE_MS_PER_FRAME = 14.0
+POST_MS_PER_FRAME = 9.5
+PRE_THREADS = 2
+
+
+def system_schedule(
+    inference_batch_ms: float,
+    inference_single_ms: float,
+    batch: int,
+) -> tuple[float, float, float]:
+    """(serial_fps, pipelined_fps, speedup) for the 4-step system.
+
+    The serial baseline executes all four steps back-to-back per frame
+    at batch 1; the optimized schedule batches inference, merges fetch
+    and pre-process onto ``PRE_THREADS`` worker threads, and pipelines
+    the three resulting stages (Fig. 10).
+    """
+    serial_per_frame = (
+        FETCH_MS_PER_FRAME
+        + PRE_MS_PER_FRAME
+        + inference_single_ms
+        + POST_MS_PER_FRAME
+    )
+    serial_fps = 1e3 / serial_per_frame
+
+    merged_ms = (FETCH_MS_PER_FRAME + PRE_MS_PER_FRAME) * batch / PRE_THREADS
+    sim = PipelineSimulator(
+        [
+            Stage("fetch+pre-process", merged_ms),
+            Stage("inference", inference_batch_ms),
+            Stage("post-process", POST_MS_PER_FRAME * batch),
+        ],
+        batch=batch,
+    )
+    piped = sim.run_pipelined(256)
+    return serial_fps, piped.fps, piped.fps / serial_fps
+
+
+def evaluate_submission(
+    detector,
+    dataset: DetectionDataset,
+    net: NetDescriptor,
+    device: GpuSpec | FpgaSpec,
+    name: str = "SkyNet (repro)",
+    batch: int = 4,
+    utilization: float = 0.6,
+) -> Submission:
+    """Measure accuracy on ``dataset`` and model system FPS/power.
+
+    Parameters
+    ----------
+    detector:
+        Trained detector with ``predict``.
+    dataset:
+        Held-out split standing in for the hidden test set.
+    net:
+        Layer descriptor of the deployed network at contest resolution.
+    device:
+        TX2 / Ultra96 / ... spec (selects the latency model family).
+    utilization:
+        Compute-utilization fraction for the power model.
+    """
+    iou = evaluate_detector(detector, dataset.images, dataset.boxes)
+    if device.kind == "gpu":
+        lat_model = GpuLatencyModel(device, batch=batch)
+    else:
+        lat_model = FpgaLatencyModel(device, batch=batch)
+    inference_batch_ms = lat_model.network_latency_ms(net)
+    if device.kind == "gpu":
+        single_ms = GpuLatencyModel(device, batch=1).network_latency_ms(net)
+    else:
+        single_ms = FpgaLatencyModel(device, batch=1).network_latency_ms(net)
+    _, fps, _ = system_schedule(inference_batch_ms, single_ms, batch)
+    power = PowerModel(device).power_w(utilization)
+    return Submission(name=name, iou=float(iou), fps=fps, power_w=power)
+
+
+def run_track(
+    submission: Submission,
+    field_entries: list,
+    track: str,
+) -> list[ScoredEntry]:
+    """Score our submission against a published field.
+
+    ``field_entries`` are :class:`repro.contest.entries.ContestEntry`
+    rows (their published SkyNet row is replaced by ours when names
+    collide on ``'SkyNet'``).
+    """
+    cfg = GPU_TRACK if track == "gpu" else FPGA_TRACK
+    rows = [submission.as_dict()]
+    for e in field_entries:
+        if "skynet" in e.name.lower():
+            continue  # replaced by our measured submission
+        rows.append(e.as_dict())
+    return score_entries(rows, cfg)

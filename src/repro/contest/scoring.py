@@ -1,0 +1,154 @@
+"""DAC-SDC scoring (Equations 2-5 of the paper).
+
+A submission is scored from its mean IoU over the hidden test set and
+its total energy consumption relative to the average of all entries:
+
+* ``R_IoU``   — Eq. (2): mean IoU over the K test images.
+* ``E_bar``   — Eq. (3): average energy over all I entries.
+* ``ES_i``    — Eq. (4): ``max(0, 1 + 0.2 * log_x(E_bar / E_i))`` with
+  ``x = 2`` for the FPGA track and ``x = 10`` for the GPU track.
+* ``TS_i``    — Eq. (5): ``R_IoU * (1 + ES_i)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "iou_score",
+    "average_energy",
+    "energy_score",
+    "total_score",
+    "TrackConfig",
+    "GPU_TRACK",
+    "FPGA_TRACK",
+    "score_entries",
+    "ScoredEntry",
+]
+
+
+@dataclass(frozen=True)
+class TrackConfig:
+    """Per-track scoring constants (the log base of Eq. 4)."""
+
+    name: str
+    log_base: float
+
+
+GPU_TRACK = TrackConfig("gpu", 10.0)
+FPGA_TRACK = TrackConfig("fpga", 2.0)
+
+
+def iou_score(ious: np.ndarray) -> float:
+    """Eq. (2): mean IoU over the test set."""
+    ious = np.asarray(ious, dtype=np.float64)
+    if ious.size == 0:
+        raise ValueError("empty IoU array")
+    if np.any((ious < 0) | (ious > 1)):
+        raise ValueError("IoU values must lie in [0, 1]")
+    return float(ious.mean())
+
+
+def average_energy(energies: list[float]) -> float:
+    """Eq. (3): mean energy across all entries."""
+    if not energies:
+        raise ValueError("no entries")
+    if any(e <= 0 for e in energies):
+        raise ValueError("energies must be positive")
+    return sum(energies) / len(energies)
+
+
+def energy_score(energy: float, avg_energy: float, track: TrackConfig) -> float:
+    """Eq. (4): energy score of one entry."""
+    if energy <= 0 or avg_energy <= 0:
+        raise ValueError("energies must be positive")
+    return max(
+        0.0, 1.0 + 0.2 * math.log(avg_energy / energy, track.log_base)
+    )
+
+
+def total_score(r_iou: float, es: float) -> float:
+    """Eq. (5): total score."""
+    return r_iou * (1.0 + es)
+
+
+@dataclass(frozen=True)
+class ScoredEntry:
+    """One contest entry after scoring."""
+
+    name: str
+    iou: float
+    fps: float
+    power_w: float
+    energy_j: float
+    energy_score: float
+    total_score: float
+
+
+def implied_field_energy(
+    entries: list["object"],
+    track: TrackConfig,
+    test_images: int = 50_000,
+) -> float:
+    """Recover the contest field's average energy from published rows.
+
+    The hidden E_bar of Eq. (3) averaged over *all* participating teams
+    (52 GPU / 58 FPGA in 2019), which the paper's tables do not list —
+    but each published (IoU, FPS, power, total score) row pins it down:
+    ``ES = TS/IoU - 1`` and inverting Eq. (4) gives
+    ``E_bar = E_i * x^((ES - 1) / 0.2)``.  The median over rows is used
+    (the rows agree to within a few percent, which doubles as a
+    consistency check on the published tables).
+
+    ``entries`` are :class:`repro.contest.entries.ContestEntry` rows.
+    """
+    implied = []
+    for e in entries:
+        energy = e.power_w * test_images / e.fps
+        es = e.total_score / e.iou - 1.0
+        implied.append(energy * track.log_base ** ((es - 1.0) / 0.2))
+    if not implied:
+        raise ValueError("no entries")
+    return float(np.median(implied))
+
+
+def score_entries(
+    entries: list[dict],
+    track: TrackConfig,
+    test_images: int = 50_000,
+    field_energy: float | None = None,
+) -> list[ScoredEntry]:
+    """Score a field of entries exactly as the contest does.
+
+    Each entry dict needs ``name``, ``iou``, ``fps`` and ``power_w``.
+    Energy per entry is power x time to process the test set
+    (``test_images / fps``), the relative quantity Eqs. (3)/(4) operate
+    on.  ``field_energy`` supplies the official E_bar when known (e.g.
+    via :func:`implied_field_energy`); otherwise Eq. (3) is applied to
+    the given entries.  Returns entries sorted by total score,
+    descending.
+    """
+    energies = []
+    for e in entries:
+        if e["fps"] <= 0:
+            raise ValueError(f"entry {e['name']!r} has non-positive FPS")
+        energies.append(e["power_w"] * test_images / e["fps"])
+    e_bar = average_energy(energies) if field_energy is None else field_energy
+    scored = []
+    for e, energy in zip(entries, energies):
+        es = energy_score(energy, e_bar, track)
+        scored.append(
+            ScoredEntry(
+                name=e["name"],
+                iou=e["iou"],
+                fps=e["fps"],
+                power_w=e["power_w"],
+                energy_j=energy,
+                energy_score=es,
+                total_score=total_score(e["iou"], es),
+            )
+        )
+    return sorted(scored, key=lambda s: -s.total_score)

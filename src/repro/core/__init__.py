@@ -1,0 +1,51 @@
+"""SkyNet core: the architecture and the bottom-up design flow."""
+
+from .bundles import BUNDLE_CATALOG, BundleSpec, GenericBundle, bundle_by_name
+from .design_flow import BottomUpFlow, BundleEvaluation, FlowConfig, FlowResult
+from .feature_addition import (
+    add_bypass,
+    apply_feature_addition,
+    bypass_latency_overhead_ms,
+    use_relu6,
+)
+from .fitness import FitnessFunction, HardwareTarget, default_targets
+from .pareto import pareto_front, pareto_select
+from .pso import GroupPSO, Particle, PSOConfig, SearchResult
+from .search_space import CandidateDNA, CandidateNet, random_dna
+from .skynet import SKYNET_CHANNELS, SkyNetBackbone, SkyNetBundle, round_channels
+from .topdown import CompressionState, TopDownConfig, TopDownFlow, TopDownResult
+
+__all__ = [
+    "SkyNetBackbone",
+    "SkyNetBundle",
+    "SKYNET_CHANNELS",
+    "round_channels",
+    "BundleSpec",
+    "GenericBundle",
+    "BUNDLE_CATALOG",
+    "bundle_by_name",
+    "CandidateDNA",
+    "CandidateNet",
+    "random_dna",
+    "FitnessFunction",
+    "HardwareTarget",
+    "default_targets",
+    "pareto_front",
+    "pareto_select",
+    "GroupPSO",
+    "Particle",
+    "PSOConfig",
+    "SearchResult",
+    "add_bypass",
+    "use_relu6",
+    "apply_feature_addition",
+    "bypass_latency_overhead_ms",
+    "BottomUpFlow",
+    "BundleEvaluation",
+    "FlowConfig",
+    "FlowResult",
+    "CompressionState",
+    "TopDownConfig",
+    "TopDownFlow",
+    "TopDownResult",
+]

@@ -1,0 +1,85 @@
+"""Stage 3: manual feature addition (Section 4.3 / 5.2).
+
+After the PSO search settles on a chain-structured candidate, the flow
+"manually adds more advanced DNN design features if hardware
+resources/constraints allow":
+
+* a **bypass** from low-level, high-resolution feature maps to the last
+  Bundle, with **feature-map reordering** across the crossed pooling
+  layer, because 91% of DAC-SDC objects are small (Fig. 6);
+* **ReLU6** instead of ReLU, shrinking the feature-map data range for
+  cheaper fixed-point FPGA and low-precision GPU arithmetic.
+
+The transforms operate on :class:`~repro.core.search_space.CandidateDNA`
+genotypes, so the Stage-2 output is upgraded without touching trained
+weights (the finalized network is retrained from scratch, as in the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..hardware.fpga.latency import FpgaLatencyModel
+from ..hardware.spec import FpgaSpec, ULTRA96
+from .search_space import CandidateDNA
+
+__all__ = [
+    "add_bypass",
+    "use_relu6",
+    "apply_feature_addition",
+    "bypass_latency_overhead_ms",
+]
+
+
+def add_bypass(dna: CandidateDNA) -> CandidateDNA:
+    """Add the reorg bypass feeding the final Bundle."""
+    if dna.bypass:
+        return dna
+    return replace(dna, bypass=True)
+
+
+def use_relu6(dna: CandidateDNA) -> CandidateDNA:
+    """Switch every Bundle activation to ReLU6."""
+    return replace(dna, activation="relu6")
+
+
+def bypass_latency_overhead_ms(
+    dna: CandidateDNA,
+    input_hw: tuple[int, int],
+    spec: FpgaSpec = ULTRA96,
+) -> float:
+    """Extra FPGA latency the bypass costs (the "if constraints allow" check).
+
+    Compares the candidate's end-to-end latency with and without the
+    bypass on the target FPGA.
+    """
+    model = FpgaLatencyModel(spec, batch=1)
+    with_b = model.per_frame_latency_ms(add_bypass(dna).descriptor(input_hw))
+    without = model.per_frame_latency_ms(
+        replace(dna, bypass=False).descriptor(input_hw)
+    )
+    return with_b - without
+
+
+def apply_feature_addition(
+    dna: CandidateDNA,
+    input_hw: tuple[int, int],
+    spec: FpgaSpec = ULTRA96,
+    latency_budget_ms: float | None = None,
+) -> CandidateDNA:
+    """Full Stage 3: ReLU6 always; bypass if the latency budget allows.
+
+    Parameters
+    ----------
+    latency_budget_ms:
+        Maximum acceptable bypass overhead; ``None`` = always add (the
+        DAC-SDC setting, where small-object accuracy dominates).
+    """
+    out = use_relu6(dna)
+    if latency_budget_ms is None:
+        return add_bypass(out)
+    overhead = bypass_latency_overhead_ms(out, input_hw, spec)
+    if overhead <= latency_budget_ms:
+        return add_bypass(out)
+    return out

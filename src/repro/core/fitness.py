@@ -1,0 +1,95 @@
+"""Fitness evaluation for the PSO search (Eq. 1 of the paper).
+
+``Fit_j = Acc_j + alpha * sum_h beta_h * |Est_h(n_j) - Req_h|``
+
+``Acc`` is validation accuracy (mean IoU for detection), ``Est_h`` the
+estimated latency on hardware platform ``h`` and ``Req_h`` the latency
+requirement.  ``alpha`` balances accuracy against hardware penalty and
+is negative (a deviation is a penalty); ``beta_h`` balances platforms —
+"since FPGA latency is more strictly constrained by its resource budget,
+we set the FPGA platform factor larger than GPU to prioritize FPGA
+implementation" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.descriptor import NetDescriptor
+from ..hardware.fpga.latency import FpgaLatencyModel
+from ..hardware.gpu.latency import GpuLatencyModel
+from ..hardware.spec import TX2, ULTRA96, FpgaSpec, GpuSpec
+
+__all__ = ["HardwareTarget", "FitnessFunction", "default_targets"]
+
+
+@dataclass(frozen=True)
+class HardwareTarget:
+    """One platform h in Eq. (1): device, latency requirement, weight."""
+
+    spec: GpuSpec | FpgaSpec
+    required_ms: float
+    beta: float
+
+    def estimate_ms(self, net: NetDescriptor) -> float:
+        if self.spec.kind == "gpu":
+            return GpuLatencyModel(self.spec, batch=1).network_latency_ms(net)
+        return FpgaLatencyModel(self.spec, batch=1).per_frame_latency_ms(net)
+
+
+def default_targets(
+    gpu_required_ms: float = 15.0,
+    fpga_required_ms: float = 40.0,
+    beta_gpu: float = 1.0,
+    beta_fpga: float = 2.0,
+) -> tuple[HardwareTarget, ...]:
+    """The DAC-SDC dual-platform targets: TX2 + Ultra96.
+
+    ``beta_fpga > beta_gpu`` reproduces the paper's prioritization of
+    the more resource-constrained FPGA platform.
+    """
+    return (
+        HardwareTarget(TX2, gpu_required_ms, beta_gpu),
+        HardwareTarget(ULTRA96, fpga_required_ms, beta_fpga),
+    )
+
+
+@dataclass
+class FitnessFunction:
+    """Callable implementing Eq. (1).
+
+    Parameters
+    ----------
+    targets:
+        Hardware platforms with requirements and betas.
+    alpha:
+        Accuracy/hardware balance; negative, since the |Est - Req| term
+        is a penalty.
+    normalize:
+        Divide each platform's deviation by its requirement so platforms
+        with different latency scales contribute comparably.
+    """
+
+    targets: tuple[HardwareTarget, ...] = field(default_factory=default_targets)
+    alpha: float = -0.1
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha > 0:
+            raise ValueError(
+                "alpha must be <= 0: Eq. (1)'s deviation term is a penalty"
+            )
+
+    def hardware_penalty(self, net: NetDescriptor) -> float:
+        """The summation term of Eq. (1) (non-negative)."""
+        penalty = 0.0
+        for tgt in self.targets:
+            dev = abs(tgt.estimate_ms(net) - tgt.required_ms)
+            if self.normalize:
+                dev /= tgt.required_ms
+            penalty += tgt.beta * dev
+        return penalty
+
+    def __call__(self, accuracy: float, net: NetDescriptor) -> float:
+        """Fitness of a candidate with measured ``accuracy``."""
+        return accuracy + self.alpha * self.hardware_penalty(net)

@@ -1,0 +1,59 @@
+"""Pareto-frontier selection (Stage 1: "The most promising Bundles
+located in the Pareto curve are selected for the next stage").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["pareto_front", "pareto_select"]
+
+
+def pareto_front(
+    points: np.ndarray, maximize: Sequence[bool]
+) -> np.ndarray:
+    """Indices of the Pareto-optimal rows of ``points``.
+
+    Parameters
+    ----------
+    points:
+        (N, D) objective matrix.
+    maximize:
+        Per-column direction; ``True`` = larger is better.
+
+    A point is kept iff no other point dominates it (at least as good in
+    every objective, strictly better in one).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be 2-D")
+    if pts.shape[1] != len(maximize):
+        raise ValueError("maximize must have one flag per column")
+    # Orient every objective as "larger is better".
+    signs = np.where(np.asarray(maximize, dtype=bool), 1.0, -1.0)
+    oriented = pts * signs
+
+    n = len(oriented)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        ge = np.all(oriented >= oriented[i], axis=1)
+        gt = np.any(oriented > oriented[i], axis=1)
+        dominators = ge & gt
+        dominators[i] = False
+        if dominators.any():
+            keep[i] = False
+    return np.flatnonzero(keep)
+
+
+def pareto_select(
+    items: list, scores: np.ndarray, maximize: Sequence[bool]
+) -> list:
+    """Return the subset of ``items`` on the Pareto frontier of ``scores``."""
+    if len(items) != len(scores):
+        raise ValueError("items and scores must align")
+    idx = pareto_front(np.asarray(scores), maximize)
+    return [items[i] for i in idx]

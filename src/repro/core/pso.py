@@ -1,0 +1,243 @@
+"""Group-based particle-swarm optimization (Algorithm 1 of the paper).
+
+Each candidate DNN is a particle; particles built from the same Bundle
+type form a group, and "in order to maintain evolution stability, a DNN
+only evolves within its own group".  Each particle has two tunable
+dimensions: ``dim1`` (channels per Bundle replication) and ``dim2``
+(pooling positions).  After every iteration of fast training and
+hardware-latency estimation, fitness (Eq. 1) picks group bests, and each
+particle moves toward its group best by a random fraction of the
+per-dimension difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from ..utils.rng import default_rng
+from .bundles import BundleSpec
+from .fitness import FitnessFunction
+from .search_space import CandidateDNA, random_dna
+
+__all__ = ["Particle", "PSOConfig", "SearchResult", "GroupPSO"]
+
+AccuracyFn = Callable[[CandidateDNA, int], float]
+
+
+@dataclass
+class Particle:
+    """One candidate network with its latest evaluation."""
+
+    dna: CandidateDNA
+    fitness: float = -np.inf
+    accuracy: float = 0.0
+
+
+@dataclass(frozen=True)
+class PSOConfig:
+    """Search hyperparameters.
+
+    ``epochs_base``/``epochs_step`` implement the paper's growing
+    training budget: within iteration *itr* every network trains for
+    ``e_itr = epochs_base + itr * epochs_step`` epochs ("e_itr increases
+    with itr").
+    """
+
+    particles_per_group: int = 4
+    iterations: int = 3
+    epochs_base: int = 2
+    epochs_step: int = 1
+    depth: int = 6
+    n_pools: int = 3
+    channel_choices: tuple[int, ...] = (8, 12, 16, 24, 32, 48, 64)
+    min_channels: int = 4
+    max_channels: int = 96
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a PSO run."""
+
+    global_best: Particle
+    group_bests: dict[str, Particle]
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def best_dna(self) -> CandidateDNA:
+        return self.global_best.dna
+
+
+class GroupPSO:
+    """Run Algorithm 1 over a set of Bundle groups.
+
+    Parameters
+    ----------
+    bundles:
+        One group is created per Bundle spec (the Stage-1 survivors).
+    accuracy_fn:
+        ``accuracy_fn(dna, epochs) -> float`` — fast-trains a candidate
+        and returns validation accuracy.  Supplied by the design flow so
+        the optimizer stays dataset-agnostic.
+    fitness_fn:
+        Eq. (1) implementation.
+    config:
+        Search hyperparameters.
+    """
+
+    def __init__(
+        self,
+        bundles: list[BundleSpec],
+        accuracy_fn: AccuracyFn,
+        fitness_fn: FitnessFunction | None = None,
+        config: PSOConfig | None = None,
+        input_hw: tuple[int, int] = (32, 64),
+    ) -> None:
+        if not bundles:
+            raise ValueError("need at least one Bundle group")
+        self.bundles = list(bundles)
+        self.accuracy_fn = accuracy_fn
+        self.fitness_fn = fitness_fn or FitnessFunction()
+        self.config = config or PSOConfig()
+        self.input_hw = input_hw
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+    def initial_population(
+        self, rng: np.random.Generator | None = None
+    ) -> dict[str, list[Particle]]:
+        """M groups x N networks (Algorithm 1's Initial_population)."""
+        rng = default_rng(rng)
+        cfg = self.config
+        groups: dict[str, list[Particle]] = {}
+        for spec in self.bundles:
+            groups[spec.name] = [
+                Particle(
+                    random_dna(
+                        spec,
+                        depth=cfg.depth,
+                        n_pools=cfg.n_pools,
+                        channel_choices=cfg.channel_choices,
+                        rng=rng,
+                    )
+                )
+                for _ in range(cfg.particles_per_group)
+            ]
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # velocity updates
+    # ------------------------------------------------------------------ #
+    def _update_channels(
+        self,
+        current: tuple[int, ...],
+        best: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """dim1 move: random fraction of the per-layer difference."""
+        cfg = self.config
+        out = []
+        for c, b in zip(current, best):
+            step = rng.uniform(0.0, 1.0) * (b - c)
+            nc = int(round(c + step))
+            out.append(int(np.clip(nc, cfg.min_channels, cfg.max_channels)))
+        return tuple(out)
+
+    def _update_pools(
+        self,
+        current: tuple[int, ...],
+        best: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """dim2 move: adopt a random number of the best's positions."""
+        cur, tgt = set(current), set(best)
+        removable = sorted(cur - tgt)
+        addable = sorted(tgt - cur)
+        n_swaps = min(len(removable), len(addable))
+        if n_swaps == 0:
+            return tuple(sorted(cur))
+        k = int(rng.integers(0, n_swaps + 1))
+        for _ in range(k):
+            cur.remove(removable.pop(int(rng.integers(len(removable)))))
+            cur.add(addable.pop(int(rng.integers(len(addable)))))
+        return tuple(sorted(cur))
+
+    def evolve_particle(
+        self,
+        particle: Particle,
+        group_best: Particle,
+        rng: np.random.Generator,
+    ) -> Particle:
+        """Move one particle toward its group best (Algorithm 1 inner loop)."""
+        dna = particle.dna
+        new_dna = replace(
+            dna,
+            channels=self._update_channels(
+                dna.channels, group_best.dna.channels, rng
+            ),
+            pool_positions=self._update_pools(
+                dna.pool_positions, group_best.dna.pool_positions, rng
+            ),
+        )
+        return Particle(dna=new_dna)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, particle: Particle, epochs: int) -> None:
+        acc = self.accuracy_fn(particle.dna, epochs)
+        net = particle.dna.descriptor(self.input_hw)
+        particle.accuracy = acc
+        particle.fitness = self.fitness_fn(acc, net)
+
+    def search(self, rng: np.random.Generator | None = None) -> SearchResult:
+        """Run the full Algorithm 1 loop."""
+        rng = default_rng(rng)
+        cfg = self.config
+        groups = self.initial_population(rng)
+        group_bests: dict[str, Particle] = {}
+        global_best: Particle | None = None
+        history: list[dict] = []
+
+        for itr in range(cfg.iterations):
+            epochs = cfg.epochs_base + itr * cfg.epochs_step
+            # Fast_training + Performance_estimation over the population
+            for particles in groups.values():
+                for p in particles:
+                    self._evaluate(p, epochs)
+            # Group_best / particle updates
+            for name, particles in groups.items():
+                best = max(particles, key=lambda p: p.fitness)
+                prev = group_bests.get(name)
+                if prev is None or best.fitness > prev.fitness:
+                    group_bests[name] = Particle(
+                        best.dna, best.fitness, best.accuracy
+                    )
+                gbest = group_bests[name]
+                groups[name] = [
+                    self.evolve_particle(p, gbest, rng) for p in particles
+                ]
+            # Global_best
+            itr_best = max(group_bests.values(), key=lambda p: p.fitness)
+            if global_best is None or itr_best.fitness > global_best.fitness:
+                global_best = Particle(
+                    itr_best.dna, itr_best.fitness, itr_best.accuracy
+                )
+            history.append(
+                {
+                    "iteration": itr,
+                    "epochs": epochs,
+                    "global_best_fitness": global_best.fitness,
+                    "group_fitness": {
+                        n: p.fitness for n, p in group_bests.items()
+                    },
+                }
+            )
+
+        assert global_best is not None
+        return SearchResult(
+            global_best=global_best, group_bests=group_bests, history=history
+        )

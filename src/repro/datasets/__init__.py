@@ -1,0 +1,63 @@
+"""Synthetic datasets standing in for DAC-SDC, GOT-10K and YouTube-VOS."""
+
+from .augment import (
+    augment_batch,
+    color_distort,
+    multiscale_size,
+    random_crop,
+    random_flip,
+    resize_bilinear,
+)
+from .dacsdc import DetectionDataset, make_dacsdc, make_dacsdc_splits
+from .got10k import TrackingDataset, TrackingSequence, make_got10k
+from .io import (
+    load_detection_dataset,
+    load_tracking_dataset,
+    save_detection_dataset,
+    save_tracking_dataset,
+)
+from .youtubevos import make_youtubevos
+from .renderer import (
+    NUM_MAIN_CATEGORIES,
+    NUM_SUB_CATEGORIES,
+    ObjectSpec,
+    SceneRenderer,
+)
+from .stats import (
+    AREA_RATIO_MU,
+    AREA_RATIO_SIGMA,
+    cumulative_fraction_below,
+    relative_size_histogram,
+    sample_area_ratio,
+    sample_aspect_ratio,
+)
+
+__all__ = [
+    "DetectionDataset",
+    "make_dacsdc",
+    "make_dacsdc_splits",
+    "TrackingDataset",
+    "TrackingSequence",
+    "make_got10k",
+    "make_youtubevos",
+    "save_detection_dataset",
+    "load_detection_dataset",
+    "save_tracking_dataset",
+    "load_tracking_dataset",
+    "SceneRenderer",
+    "ObjectSpec",
+    "NUM_MAIN_CATEGORIES",
+    "NUM_SUB_CATEGORIES",
+    "augment_batch",
+    "color_distort",
+    "random_crop",
+    "random_flip",
+    "resize_bilinear",
+    "multiscale_size",
+    "sample_area_ratio",
+    "sample_aspect_ratio",
+    "relative_size_histogram",
+    "cumulative_fraction_below",
+    "AREA_RATIO_MU",
+    "AREA_RATIO_SIGMA",
+]

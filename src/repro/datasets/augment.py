@@ -1,0 +1,151 @@
+"""Data augmentation: distort, jitter, crop, and resize (Section 6.1).
+
+The paper enriches DAC-SDC training with augmentations that "distort,
+jitter, crop, and resize inputs" and uses multi-scale training.  All
+transforms here operate on NCHW batches plus (N, 4) normalized cxcywh
+boxes and return new arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import default_rng
+
+__all__ = [
+    "resize_bilinear",
+    "random_flip",
+    "color_distort",
+    "random_crop",
+    "augment_batch",
+    "multiscale_size",
+]
+
+
+def resize_bilinear(images: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+    """Bilinear resize of an (N, C, H, W) batch to ``out_hw``."""
+    n, c, h, w = images.shape
+    oh, ow = out_hw
+    if (oh, ow) == (h, w):
+        return images.copy()
+    ys = (np.arange(oh) + 0.5) * h / oh - 0.5
+    xs = (np.arange(ow) + 0.5) * w / ow - 0.5
+    y0 = np.clip(np.floor(ys).astype(int), 0, h - 1)
+    x0 = np.clip(np.floor(xs).astype(int), 0, w - 1)
+    y1 = np.clip(y0 + 1, 0, h - 1)
+    x1 = np.clip(x0 + 1, 0, w - 1)
+    wy = np.clip(ys - y0, 0.0, 1.0)[None, None, :, None]
+    wx = np.clip(xs - x0, 0.0, 1.0)[None, None, None, :]
+
+    tl = images[:, :, y0[:, None], x0[None, :]]
+    tr = images[:, :, y0[:, None], x1[None, :]]
+    bl = images[:, :, y1[:, None], x0[None, :]]
+    br = images[:, :, y1[:, None], x1[None, :]]
+    top = tl * (1 - wx) + tr * wx
+    bot = bl * (1 - wx) + br * wx
+    out = top * (1 - wy) + bot * wy
+    return out.astype(images.dtype)
+
+
+def random_flip(
+    images: np.ndarray,
+    boxes: np.ndarray,
+    rng: np.random.Generator | None = None,
+    p: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Horizontally flip each sample with probability ``p``."""
+    rng = default_rng(rng)
+    images = images.copy()
+    boxes = boxes.copy()
+    flip = rng.uniform(size=len(images)) < p
+    images[flip] = images[flip][:, :, :, ::-1]
+    boxes[flip, 0] = 1.0 - boxes[flip, 0]
+    return images, boxes
+
+
+def color_distort(
+    images: np.ndarray,
+    rng: np.random.Generator | None = None,
+    strength: float = 0.15,
+) -> np.ndarray:
+    """Per-image, per-channel brightness/contrast distortion."""
+    rng = default_rng(rng)
+    n, c = images.shape[:2]
+    scale = rng.uniform(1 - strength, 1 + strength, size=(n, c, 1, 1))
+    shift = rng.uniform(-strength / 2, strength / 2, size=(n, c, 1, 1))
+    return np.clip(images * scale + shift, 0.0, 1.0).astype(images.dtype)
+
+
+def random_crop(
+    images: np.ndarray,
+    boxes: np.ndarray,
+    rng: np.random.Generator | None = None,
+    max_fraction: float = 0.15,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Jitter-crop each image (keeping the object inside) and resize back.
+
+    Crops up to ``max_fraction`` off each side, never cutting into the
+    ground-truth box.
+    """
+    rng = default_rng(rng)
+    n, c, h, w = images.shape
+    out_images = np.empty_like(images)
+    out_boxes = boxes.copy()
+    for i in range(n):
+        cx, cy, bw, bh = boxes[i]
+        x1, y1 = cx - bw / 2, cy - bh / 2
+        x2, y2 = cx + bw / 2, cy + bh / 2
+        left = rng.uniform(0, min(max_fraction, max(x1, 0)))
+        top = rng.uniform(0, min(max_fraction, max(y1, 0)))
+        right = rng.uniform(0, min(max_fraction, max(1 - x2, 0)))
+        bottom = rng.uniform(0, min(max_fraction, max(1 - y2, 0)))
+        px1, py1 = int(left * w), int(top * h)
+        px2, py2 = w - int(right * w), h - int(bottom * h)
+        crop = images[i : i + 1, :, py1:py2, px1:px2]
+        out_images[i] = resize_bilinear(crop, (h, w))[0]
+        # re-normalize the box to the cropped frame
+        cw = (px2 - px1) / w
+        ch = (py2 - py1) / h
+        out_boxes[i, 0] = (cx - px1 / w) / cw
+        out_boxes[i, 1] = (cy - py1 / h) / ch
+        out_boxes[i, 2] = bw / cw
+        out_boxes[i, 3] = bh / ch
+    np.clip(out_boxes, 0.0, 1.0, out=out_boxes)
+    return out_images, out_boxes
+
+
+def multiscale_size(
+    base_hw: tuple[int, int],
+    rng: np.random.Generator | None = None,
+    scales: tuple[float, ...] = (0.75, 1.0, 1.25),
+    divisor: int = 8,
+) -> tuple[int, int]:
+    """Pick a training resolution for multi-scale training.
+
+    The returned size is rounded to a multiple of ``divisor`` so the
+    backbone's pooling stages divide evenly.
+    """
+    rng = default_rng(rng)
+    s = float(rng.choice(scales))
+    h = max(divisor, int(round(base_hw[0] * s / divisor)) * divisor)
+    w = max(divisor, int(round(base_hw[1] * s / divisor)) * divisor)
+    return h, w
+
+
+def augment_batch(
+    images: np.ndarray,
+    boxes: np.ndarray,
+    rng: np.random.Generator | None = None,
+    crop: bool = True,
+    flip: bool = True,
+    distort: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the full Section 6.1 augmentation stack to one batch."""
+    rng = default_rng(rng)
+    if flip:
+        images, boxes = random_flip(images, boxes, rng)
+    if crop:
+        images, boxes = random_crop(images, boxes, rng)
+    if distort:
+        images = color_distort(images, rng)
+    return images, boxes

@@ -1,0 +1,121 @@
+"""Synthetic DAC-SDC-style single-object detection dataset.
+
+Stands in for the DJI UAV dataset (100k train / 50k hidden test images,
+12 main categories, 95 sub-categories) used by the DAC-SDC contest; see
+:mod:`repro.datasets.renderer` and DESIGN.md for the substitution
+rationale.  Images are NCHW float32 in [0, 1]; labels are normalized
+cxcywh boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import default_rng
+from .renderer import SceneRenderer
+
+__all__ = ["DetectionDataset", "make_dacsdc", "make_dacsdc_splits"]
+
+
+@dataclass
+class DetectionDataset:
+    """In-memory detection dataset.
+
+    Attributes
+    ----------
+    images:
+        (N, 3, H, W) float32.
+    boxes:
+        (N, 4) normalized cxcywh.
+    categories, subcategories:
+        (N,) integer labels (not used by the regression task, kept for
+        analysis).
+    """
+
+    images: np.ndarray
+    boxes: np.ndarray
+    categories: np.ndarray = field(default=None)
+    subcategories: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.boxes):
+            raise ValueError("images and boxes must have equal length")
+        if self.categories is None:
+            self.categories = np.zeros(len(self.images), dtype=np.int64)
+        if self.subcategories is None:
+            self.subcategories = np.zeros(len(self.images), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def image_hw(self) -> tuple[int, int]:
+        return self.images.shape[2], self.images.shape[3]
+
+    def subset(self, idx: np.ndarray) -> "DetectionDataset":
+        return DetectionDataset(
+            self.images[idx],
+            self.boxes[idx],
+            self.categories[idx],
+            self.subcategories[idx],
+        )
+
+    def iter_batches(
+        self,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+    ):
+        """Yield (images, boxes) minibatches."""
+        order = np.arange(len(self))
+        if shuffle:
+            default_rng(rng).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.boxes[idx]
+
+
+def make_dacsdc(
+    n: int,
+    image_hw: tuple[int, int] = (48, 96),
+    clutter: int = 3,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> DetectionDataset:
+    """Generate ``n`` synthetic DAC-SDC scenes.
+
+    The default resolution is a 48x96 miniature of the contest's 160x360
+    input (same 1:2-ish aspect); pass ``image_hw=(160, 360)`` for
+    full-scale rendering (used by the hardware-model benches, which do
+    not train).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed) if seed is not None else default_rng()
+    renderer = SceneRenderer(image_hw=image_hw, clutter=clutter)
+    h, w = image_hw
+    images = np.empty((n, 3, h, w), dtype=np.float32)
+    boxes = np.empty((n, 4), dtype=np.float64)
+    cats = np.empty(n, dtype=np.int64)
+    subs = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        img, spec = renderer.render(rng=rng)
+        images[i] = img
+        boxes[i] = spec.box
+        cats[i] = spec.category
+        subs[i] = spec.subcategory
+    return DetectionDataset(images, boxes, cats, subs)
+
+
+def make_dacsdc_splits(
+    n_train: int,
+    n_val: int,
+    image_hw: tuple[int, int] = (48, 96),
+    seed: int = 0,
+) -> tuple[DetectionDataset, DetectionDataset]:
+    """Deterministic train/val split (val plays the hidden-test role)."""
+    rng = np.random.default_rng(seed)
+    train = make_dacsdc(n_train, image_hw=image_hw, rng=rng)
+    val = make_dacsdc(n_val, image_hw=image_hw, rng=rng)
+    return train, val

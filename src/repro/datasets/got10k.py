@@ -1,0 +1,162 @@
+"""Synthetic GOT-10K-style tracking sequences.
+
+GOT-10K (Huang et al., 2018) is a large high-diversity benchmark for
+generic object tracking: video sequences with one annotated target each,
+evaluated by average overlap (AO) and success rates (SR@t).  This module
+substitutes it with procedurally generated sequences — a persistent
+background, one object following a smooth random-walk trajectory with
+gradual scale change — which exercise the identical tracker code paths
+(template matching, search-window cropping, box regression) and the
+exact AO/SR metric definitions.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import default_rng
+from .renderer import SceneRenderer
+
+__all__ = ["TrackingSequence", "TrackingDataset", "make_got10k"]
+
+
+@dataclass
+class TrackingSequence:
+    """One video: (T, 3, H, W) frames and (T, 4) normalized cxcywh boxes.
+
+    ``masks`` (T, H, W) bool is present when the sequence was generated
+    with segmentation labels (the YouTube-VOS stand-in used to train
+    SiamMask).
+    """
+
+    frames: np.ndarray
+    boxes: np.ndarray
+    masks: np.ndarray | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.frames) != len(self.boxes):
+            raise ValueError("frames and boxes must have equal length")
+        if self.masks is not None and len(self.masks) != len(self.frames):
+            raise ValueError("masks must align with frames")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def image_hw(self) -> tuple[int, int]:
+        return self.frames.shape[2], self.frames.shape[3]
+
+
+@dataclass
+class TrackingDataset:
+    """A collection of tracking sequences."""
+
+    sequences: list[TrackingSequence] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def __iter__(self):
+        return iter(self.sequences)
+
+    def __getitem__(self, i: int) -> TrackingSequence:
+        return self.sequences[i]
+
+    def total_frames(self) -> int:
+        return sum(len(s) for s in self.sequences)
+
+
+def _smooth_trajectory(
+    t: int, rng: np.random.Generator, lo: float, hi: float, inertia: float = 0.85
+) -> np.ndarray:
+    """AR(1) random walk clipped to [lo, hi] (per-frame positions)."""
+    pos = np.empty(t)
+    pos[0] = rng.uniform(lo, hi)
+    vel = rng.normal(0, 0.01)
+    for i in range(1, t):
+        vel = inertia * vel + rng.normal(0, 0.008)
+        pos[i] = np.clip(pos[i - 1] + vel, lo, hi)
+        if pos[i] in (lo, hi):
+            vel = -vel * 0.5
+    return pos
+
+
+def make_got10k(
+    n_sequences: int,
+    seq_len: int = 12,
+    image_hw: tuple[int, int] = (64, 64),
+    with_masks: bool = False,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    min_area: float = 0.02,
+    max_area: float = 0.12,
+) -> TrackingDataset:
+    """Generate a synthetic tracking dataset.
+
+    Parameters
+    ----------
+    n_sequences, seq_len:
+        Dataset shape.
+    with_masks:
+        Also emit per-frame segmentation masks (the YouTube-VOS role).
+    min_area, max_area:
+        Target relative-size range — trackable objects are larger than
+        the detection dataset's tiny tail.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed) if seed is not None else default_rng()
+    renderer = SceneRenderer(image_hw=image_hw, clutter=2)
+    h, w = image_hw
+    sequences = []
+    for si in range(n_sequences):
+        base = renderer.sample_object(rng)
+        area = float(rng.uniform(min_area, max_area))
+        aspect = float(rng.uniform(0.7, 1.4))
+        bw = float(np.clip(np.sqrt(area * aspect), 0.08, 0.6))
+        bh = float(np.clip(area / bw, 0.08, 0.6))
+        cxs = _smooth_trajectory(seq_len, rng, bw / 2, 1 - bw / 2)
+        cys = _smooth_trajectory(seq_len, rng, bh / 2, 1 - bh / 2)
+        scales = np.exp(
+            np.cumsum(rng.normal(0, 0.015, size=seq_len))
+        )  # gradual scale drift
+        background = renderer.render_background(rng)
+
+        frames = np.empty((seq_len, 3, h, w), dtype=np.float32)
+        boxes = np.empty((seq_len, 4), dtype=np.float64)
+        masks = (
+            np.empty((seq_len, h, w), dtype=bool) if with_masks else None
+        )
+        from dataclasses import replace as _replace
+
+        for t in range(seq_len):
+            s = float(np.clip(scales[t], 0.6, 1.6))
+            spec = _replace(
+                base,
+                cx=float(cxs[t]),
+                cy=float(cys[t]),
+                w=float(np.clip(bw * s, 0.05, 0.9)),
+                h=float(np.clip(bh * s, 0.05, 0.9)),
+            )
+            img = background.copy()
+            mask = renderer._shape_mask(spec)
+            color = np.array(spec.color, dtype=np.float64).reshape(3, 1)
+            if mask.any():
+                local = img[:, mask].mean(axis=1, keepdims=True)
+                color = np.where(
+                    np.abs(color - local) < 0.3,
+                    np.clip(1.0 - local, 0.0, 1.0),
+                    color,
+                )
+                img[:, mask] = 0.15 * img[:, mask] + 0.85 * color
+            frames[t] = np.clip(img, 0, 1).astype(np.float32)
+            boxes[t] = spec.box
+            if masks is not None:
+                masks[t] = mask
+        sequences.append(
+            TrackingSequence(frames, boxes, masks, name=f"seq{si:04d}")
+        )
+    return TrackingDataset(sequences)

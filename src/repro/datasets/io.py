@@ -1,0 +1,83 @@
+"""Dataset persistence: save/load synthetic datasets as ``.npz`` archives.
+
+Generating a large synthetic split is cheap but not free; persisting it
+makes benches and experiments exactly reproducible across machines and
+lets users pin the data a result was produced on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .dacsdc import DetectionDataset
+from .got10k import TrackingDataset, TrackingSequence
+
+__all__ = [
+    "save_detection_dataset",
+    "load_detection_dataset",
+    "save_tracking_dataset",
+    "load_tracking_dataset",
+]
+
+
+def _ensure_dir(path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+
+
+def save_detection_dataset(dataset: DetectionDataset, path: str) -> None:
+    """Write a detection dataset to one ``.npz`` file."""
+    _ensure_dir(path)
+    np.savez_compressed(
+        path,
+        images=dataset.images,
+        boxes=dataset.boxes,
+        categories=dataset.categories,
+        subcategories=dataset.subcategories,
+    )
+
+
+def load_detection_dataset(path: str) -> DetectionDataset:
+    """Load a detection dataset saved by :func:`save_detection_dataset`."""
+    with np.load(path) as data:
+        return DetectionDataset(
+            images=data["images"],
+            boxes=data["boxes"],
+            categories=data["categories"],
+            subcategories=data["subcategories"],
+        )
+
+
+def save_tracking_dataset(dataset: TrackingDataset, path: str) -> None:
+    """Write a tracking dataset (all sequences) to one ``.npz`` file."""
+    _ensure_dir(path)
+    payload: dict[str, np.ndarray] = {
+        "n_sequences": np.array(len(dataset)),
+    }
+    for i, seq in enumerate(dataset):
+        payload[f"frames_{i}"] = seq.frames
+        payload[f"boxes_{i}"] = seq.boxes
+        payload[f"name_{i}"] = np.array(seq.name)
+        if seq.masks is not None:
+            payload[f"masks_{i}"] = seq.masks
+    np.savez_compressed(path, **payload)
+
+
+def load_tracking_dataset(path: str) -> TrackingDataset:
+    """Load a tracking dataset saved by :func:`save_tracking_dataset`."""
+    with np.load(path) as data:
+        n = int(data["n_sequences"])
+        sequences = []
+        for i in range(n):
+            masks_key = f"masks_{i}"
+            sequences.append(
+                TrackingSequence(
+                    frames=data[f"frames_{i}"],
+                    boxes=data[f"boxes_{i}"],
+                    masks=data[masks_key] if masks_key in data.files else None,
+                    name=str(data[f"name_{i}"]),
+                )
+            )
+    return TrackingDataset(sequences)

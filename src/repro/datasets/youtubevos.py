@@ -1,0 +1,33 @@
+"""Synthetic YouTube-VOS stand-in: tracking sequences *with masks*.
+
+SiamMask needs segmentation supervision during training, which GOT-10K
+lacks; the paper therefore trains SiamMask on YouTube-VOS (Section 7.2).
+Our substitute is the same synthetic sequence generator with per-frame
+object masks enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .got10k import TrackingDataset, make_got10k
+
+__all__ = ["make_youtubevos"]
+
+
+def make_youtubevos(
+    n_sequences: int,
+    seq_len: int = 12,
+    image_hw: tuple[int, int] = (64, 64),
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> TrackingDataset:
+    """Generate mask-annotated training sequences."""
+    return make_got10k(
+        n_sequences,
+        seq_len=seq_len,
+        image_hw=image_hw,
+        with_masks=True,
+        seed=seed,
+        rng=rng,
+    )

@@ -1,0 +1,47 @@
+"""Single-object detection stack: boxes, anchors, head, loss, training."""
+
+from .anchors import DEFAULT_ANCHORS, anchor_iou, kmeans_anchors
+from .boxes import (
+    box_area,
+    box_iou,
+    clip_boxes,
+    cxcywh_to_xyxy,
+    pairwise_iou,
+    xyxy_to_cxcywh,
+)
+from .head import YoloHead, best_box, decode_grid
+from .loss import YoloLoss
+from .metrics import evaluate_detector, iou_per_image, mean_iou
+from .model import Detector
+from .postprocess import Detection, decode_detections, nms
+from .visualize import ascii_scene, draw_box, draw_detections
+from .trainer import DetectionTrainer, TrainConfig, TrainResult
+
+__all__ = [
+    "DEFAULT_ANCHORS",
+    "anchor_iou",
+    "kmeans_anchors",
+    "box_area",
+    "box_iou",
+    "clip_boxes",
+    "cxcywh_to_xyxy",
+    "pairwise_iou",
+    "xyxy_to_cxcywh",
+    "YoloHead",
+    "best_box",
+    "decode_grid",
+    "YoloLoss",
+    "evaluate_detector",
+    "iou_per_image",
+    "mean_iou",
+    "Detector",
+    "Detection",
+    "decode_detections",
+    "nms",
+    "draw_box",
+    "draw_detections",
+    "ascii_scene",
+    "DetectionTrainer",
+    "TrainConfig",
+    "TrainResult",
+]

@@ -1,0 +1,68 @@
+"""Anchor boxes for the two-anchor YOLO-style regression head.
+
+SkyNet "adapts the YOLO detector head by removing the classification
+output and use two anchors for bounding box regression" (Section 5.1).
+Anchors are (width, height) pairs normalized to the image.  Because the
+DAC-SDC distribution is dominated by small objects (Fig. 6), the default
+anchors are small; :func:`kmeans_anchors` re-estimates them from data the
+way YOLOv2 does (k-means under IoU distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import default_rng
+
+__all__ = ["DEFAULT_ANCHORS", "kmeans_anchors", "anchor_iou"]
+
+# (w, h) normalized; tuned to the synthetic DAC-SDC size distribution:
+# one anchor for the "tiny" mode (<1% area), one for the broader small-object
+# mode (~1-9% area).
+DEFAULT_ANCHORS: np.ndarray = np.array(
+    [[0.08, 0.12], [0.22, 0.30]], dtype=np.float64
+)
+
+
+def anchor_iou(wh: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    """IoU between (N, 2) box sizes and (K, 2) anchors, centers aligned."""
+    wh = np.asarray(wh, dtype=np.float64).reshape(-1, 2)
+    anchors = np.asarray(anchors, dtype=np.float64).reshape(-1, 2)
+    inter = np.minimum(wh[:, None, 0], anchors[None, :, 0]) * np.minimum(
+        wh[:, None, 1], anchors[None, :, 1]
+    )
+    union = (
+        wh[:, None, 0] * wh[:, None, 1]
+        + anchors[None, :, 0] * anchors[None, :, 1]
+        - inter
+    )
+    return inter / np.maximum(union, 1e-12)
+
+
+def kmeans_anchors(
+    wh: np.ndarray,
+    k: int = 2,
+    iters: int = 50,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Estimate ``k`` anchors from (N, 2) box sizes via IoU k-means.
+
+    Returns anchors sorted by area ascending.
+    """
+    rng = default_rng(rng)
+    wh = np.asarray(wh, dtype=np.float64).reshape(-1, 2)
+    if len(wh) < k:
+        raise ValueError(f"need at least {k} boxes, got {len(wh)}")
+    centers = wh[rng.choice(len(wh), size=k, replace=False)].copy()
+    for _ in range(iters):
+        assign = anchor_iou(wh, centers).argmax(axis=1)
+        new = centers.copy()
+        for j in range(k):
+            members = wh[assign == j]
+            if len(members):
+                new[j] = np.median(members, axis=0)
+        if np.allclose(new, centers):
+            break
+        centers = new
+    order = np.argsort(centers[:, 0] * centers[:, 1])
+    return centers[order]

@@ -1,0 +1,78 @@
+"""Bounding-box utilities.
+
+Boxes use two conventions:
+
+* ``xyxy`` — (x1, y1, x2, y2) corners,
+* ``cxcywh`` — (center-x, center-y, width, height).
+
+All coordinates are normalized to [0, 1] relative to the image unless a
+function says otherwise.  Everything is vectorized over leading axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cxcywh_to_xyxy",
+    "xyxy_to_cxcywh",
+    "box_area",
+    "box_iou",
+    "pairwise_iou",
+    "clip_boxes",
+]
+
+
+def cxcywh_to_xyxy(boxes: np.ndarray) -> np.ndarray:
+    """Convert (..., 4) center-format boxes to corner format."""
+    boxes = np.asarray(boxes, dtype=np.float64)
+    cx, cy, w, h = np.moveaxis(boxes, -1, 0)
+    return np.stack(
+        [cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2], axis=-1
+    )
+
+
+def xyxy_to_cxcywh(boxes: np.ndarray) -> np.ndarray:
+    """Convert (..., 4) corner-format boxes to center format."""
+    boxes = np.asarray(boxes, dtype=np.float64)
+    x1, y1, x2, y2 = np.moveaxis(boxes, -1, 0)
+    return np.stack(
+        [(x1 + x2) / 2, (y1 + y2) / 2, x2 - x1, y2 - y1], axis=-1
+    )
+
+
+def box_area(boxes: np.ndarray) -> np.ndarray:
+    """Area of (..., 4) xyxy boxes (negative extents clamp to zero)."""
+    boxes = np.asarray(boxes, dtype=np.float64)
+    w = np.maximum(boxes[..., 2] - boxes[..., 0], 0.0)
+    h = np.maximum(boxes[..., 3] - boxes[..., 1], 0.0)
+    return w * h
+
+
+def box_iou(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise IoU between broadcast-compatible xyxy box arrays.
+
+    This is the metric DAC-SDC scores with (Eq. 2 averages it over the
+    test set).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    x1 = np.maximum(a[..., 0], b[..., 0])
+    y1 = np.maximum(a[..., 1], b[..., 1])
+    x2 = np.minimum(a[..., 2], b[..., 2])
+    y2 = np.minimum(a[..., 3], b[..., 3])
+    inter = np.maximum(x2 - x1, 0.0) * np.maximum(y2 - y1, 0.0)
+    union = box_area(a) + box_area(b) - inter
+    return np.where(union > 0, inter / np.maximum(union, 1e-12), 0.0)
+
+
+def pairwise_iou(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """IoU matrix of shape (len(a), len(b)) for xyxy boxes."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1, 4)
+    b = np.asarray(b, dtype=np.float64).reshape(-1, 4)
+    return box_iou(a[:, None, :], b[None, :, :])
+
+
+def clip_boxes(boxes: np.ndarray, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
+    """Clamp xyxy boxes to the image frame."""
+    return np.clip(np.asarray(boxes, dtype=np.float64), lo, hi)

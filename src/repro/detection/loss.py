@@ -1,0 +1,121 @@
+"""YOLO-style regression loss for single-object detection.
+
+For each image the ground-truth box selects one *responsible* grid cell
+(the one containing its center) and one responsible anchor (highest
+shape-IoU).  Coordinate terms are regressed only there; the objectness
+term is trained everywhere, down-weighted on non-responsible cells
+(classic YOLO lambda weighting).  There is no classification term —
+SkyNet's head removes it (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from .anchors import anchor_iou
+
+__all__ = ["YoloLoss"]
+
+
+def _bce_with_logits_elem(x: Tensor, target: np.ndarray) -> Tensor:
+    """Elementwise numerically-stable BCE on logits (autograd-composed)."""
+    t = Tensor(target)
+    return x.relu() - x * t + ((-x.abs()).exp() + 1.0).log()
+
+
+class YoloLoss:
+    """Compute the detection loss on raw (N, K*5, GH, GW) predictions.
+
+    Parameters
+    ----------
+    anchors:
+        (K, 2) normalized anchor sizes — must match the head.
+    lambda_coord, lambda_obj, lambda_noobj:
+        YOLO loss weights.
+    """
+
+    def __init__(
+        self,
+        anchors: np.ndarray,
+        lambda_coord: float = 5.0,
+        lambda_obj: float = 1.0,
+        lambda_noobj: float = 0.5,
+    ) -> None:
+        self.anchors = np.asarray(anchors, dtype=np.float64)
+        self.lambda_coord = lambda_coord
+        self.lambda_obj = lambda_obj
+        self.lambda_noobj = lambda_noobj
+
+    def build_targets(
+        self, gt: np.ndarray, grid_hw: tuple[int, int]
+    ) -> dict[str, np.ndarray]:
+        """Vectorized target construction.
+
+        Parameters
+        ----------
+        gt:
+            (N, 4) ground-truth boxes in normalized cxcywh.
+        grid_hw:
+            (GH, GW) of the prediction grid.
+
+        Returns
+        -------
+        dict with ``obj_mask`` (N, K, GH, GW), ``txy``/``twh`` targets
+        (N, K, GH, GW, 2) (zero outside the mask).
+        """
+        gt = np.asarray(gt, dtype=np.float64).reshape(-1, 4)
+        n = len(gt)
+        gh, gw = grid_hw
+        k = len(self.anchors)
+
+        cx, cy, w, h = gt.T
+        gj = np.clip((cx * gw).astype(int), 0, gw - 1)
+        gi = np.clip((cy * gh).astype(int), 0, gh - 1)
+        best_a = anchor_iou(gt[:, 2:4], self.anchors).argmax(axis=1)
+
+        obj_mask = np.zeros((n, k, gh, gw), dtype=np.float64)
+        txy = np.zeros((n, k, gh, gw, 2), dtype=np.float64)
+        twh = np.zeros((n, k, gh, gw, 2), dtype=np.float64)
+
+        rows = np.arange(n)
+        obj_mask[rows, best_a, gi, gj] = 1.0
+        txy[rows, best_a, gi, gj, 0] = cx * gw - gj
+        txy[rows, best_a, gi, gj, 1] = cy * gh - gi
+        eps = 1e-8
+        twh[rows, best_a, gi, gj, 0] = np.log(
+            np.maximum(w, eps) / self.anchors[best_a, 0]
+        )
+        twh[rows, best_a, gi, gj, 1] = np.log(
+            np.maximum(h, eps) / self.anchors[best_a, 1]
+        )
+        return {"obj_mask": obj_mask, "txy": txy, "twh": twh}
+
+    def __call__(self, raw: Tensor, gt: np.ndarray) -> Tensor:
+        """Total loss for raw predictions against (N, 4) cxcywh GT boxes."""
+        n, ch, gh, gw = raw.shape
+        k = len(self.anchors)
+        if ch != k * 5:
+            raise ValueError(f"expected {k * 5} channels, got {ch}")
+        tgt = self.build_targets(gt, (gh, gw))
+        obj = tgt["obj_mask"]  # (N, K, GH, GW)
+
+        p = raw.reshape(n, k, 5, gh, gw)
+        # move the "5" axis last for convenient slicing
+        p = p.transpose(0, 1, 3, 4, 2)  # (N, K, GH, GW, 5)
+
+        pxy = p[..., 0:2].sigmoid()
+        pwh = p[..., 2:4]
+        pconf_logit = p[..., 4]
+
+        m = obj[..., None]  # broadcast over the coord axis
+        coord_loss = (((pxy - Tensor(tgt["txy"])) ** 2) * Tensor(m)).sum() + (
+            ((pwh - Tensor(tgt["twh"])) ** 2) * Tensor(m)
+        ).sum()
+
+        conf_elem = _bce_with_logits_elem(pconf_logit, obj)
+        conf_w = self.lambda_obj * obj + self.lambda_noobj * (1.0 - obj)
+        conf_loss = (conf_elem * Tensor(conf_w)).sum()
+
+        total = (coord_loss * self.lambda_coord + conf_loss) * (1.0 / n)
+        return total

@@ -1,0 +1,49 @@
+"""Detection accuracy metrics.
+
+DAC-SDC scores a submission by the mean IoU between predicted and
+ground-truth boxes over the test set (Eq. 2).  :func:`mean_iou` is that
+quantity; :func:`evaluate_detector` runs a detector over a dataset in
+batches and reports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .boxes import box_iou, cxcywh_to_xyxy
+
+__all__ = ["mean_iou", "evaluate_detector", "iou_per_image"]
+
+
+def iou_per_image(pred_cxcywh: np.ndarray, gt_cxcywh: np.ndarray) -> np.ndarray:
+    """Per-image IoU for (N, 4) predicted and ground-truth cxcywh boxes."""
+    return box_iou(cxcywh_to_xyxy(pred_cxcywh), cxcywh_to_xyxy(gt_cxcywh))
+
+
+def mean_iou(pred_cxcywh: np.ndarray, gt_cxcywh: np.ndarray) -> float:
+    """Mean IoU — the DAC-SDC accuracy metric R_IoU (Eq. 2)."""
+    return float(iou_per_image(pred_cxcywh, gt_cxcywh).mean())
+
+
+def evaluate_detector(
+    detector,
+    images: np.ndarray,
+    gt_boxes: np.ndarray,
+    batch_size: int = 16,
+) -> float:
+    """Mean IoU of ``detector`` over a dataset.
+
+    Parameters
+    ----------
+    detector:
+        Object with ``predict(images) -> (N, 4) cxcywh`` (e.g.
+        :class:`repro.detection.model.Detector`).
+    images:
+        (N, 3, H, W) float images.
+    gt_boxes:
+        (N, 4) normalized cxcywh ground truth.
+    """
+    preds = []
+    for start in range(0, len(images), batch_size):
+        preds.append(detector.predict(images[start : start + batch_size]))
+    return mean_iou(np.concatenate(preds, axis=0), gt_boxes)

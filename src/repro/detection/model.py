@@ -1,0 +1,50 @@
+"""Single-object detector = backbone + YOLO-style regression head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.module import Module
+from .head import YoloHead, best_box
+
+__all__ = ["Detector"]
+
+
+class Detector(Module):
+    """Composable detector used for SkyNet and every Table 2 baseline.
+
+    Parameters
+    ----------
+    backbone:
+        Any module mapping (N, 3, H, W) -> (N, C, GH, GW) and exposing an
+        ``out_channels`` attribute.
+    head:
+        Optional pre-built :class:`YoloHead`; constructed from
+        ``backbone.out_channels`` when omitted.
+    """
+
+    def __init__(self, backbone: Module, head: YoloHead | None = None) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.head = head if head is not None else YoloHead(backbone.out_channels)
+
+    @property
+    def anchors(self) -> np.ndarray:
+        return self.head.anchors
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Raw grid predictions (N, K*5, GH, GW)."""
+        return self.head(self.backbone(x))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Inference: (N, 3, H, W) images -> (N, 4) cxcywh boxes."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                raw = self.forward(Tensor(images)).data
+        finally:
+            if was_training:
+                self.train()
+        return best_box(raw, self.head.anchors)

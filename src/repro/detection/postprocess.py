@@ -1,0 +1,118 @@
+"""Multi-detection post-processing: top-k decode and NMS.
+
+DAC-SDC is a single-object task, so SkyNet's contest inference is a pure
+argmax (:func:`repro.detection.head.best_box`).  The general detectors
+the paper builds on (YOLO, SSD) handle multiple objects with confidence
+thresholding + non-maximum suppression; this module provides that path
+so the library generalizes beyond the contest setting — e.g. for the
+multi-object scenes a UAV fleet would actually encounter (the paper's
+Fig. 7 shows frames with several similar objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import cxcywh_to_xyxy, pairwise_iou
+from .head import decode_grid
+
+__all__ = ["Detection", "nms", "decode_detections"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One decoded detection: normalized cxcywh box + confidence."""
+
+    box: np.ndarray
+    score: float
+
+    @property
+    def xyxy(self) -> np.ndarray:
+        return cxcywh_to_xyxy(self.box)
+
+
+def nms(
+    boxes_cxcywh: np.ndarray,
+    scores: np.ndarray,
+    iou_threshold: float = 0.45,
+    max_detections: int = 100,
+) -> np.ndarray:
+    """Greedy non-maximum suppression.
+
+    Parameters
+    ----------
+    boxes_cxcywh:
+        (N, 4) candidate boxes.
+    scores:
+        (N,) confidences.
+    iou_threshold:
+        Candidates overlapping a kept box above this are suppressed.
+
+    Returns
+    -------
+    Indices of the kept boxes, highest score first.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError("iou_threshold must be in [0, 1]")
+    boxes = np.asarray(boxes_cxcywh, dtype=np.float64).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if len(boxes) != len(scores):
+        raise ValueError("boxes and scores must align")
+    if len(boxes) == 0:
+        return np.empty(0, dtype=int)
+
+    xyxy = cxcywh_to_xyxy(boxes)
+    order = np.argsort(-scores)
+    keep: list[int] = []
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        if len(keep) >= max_detections:
+            break
+        ious = pairwise_iou(xyxy[idx], xyxy[~suppressed]).ravel()
+        overlap_idx = np.flatnonzero(~suppressed)[ious > iou_threshold]
+        suppressed[overlap_idx] = True
+        suppressed[idx] = True
+    return np.array(keep, dtype=int)
+
+
+def decode_detections(
+    raw: np.ndarray,
+    anchors: np.ndarray,
+    conf_threshold: float = 0.3,
+    iou_threshold: float = 0.45,
+    max_detections: int = 10,
+) -> list[list[Detection]]:
+    """Full multi-object decode of raw head output.
+
+    Parameters
+    ----------
+    raw:
+        (N, K*5, GH, GW) raw predictions.
+    anchors:
+        (K, 2) normalized anchors matching the head.
+
+    Returns
+    -------
+    Per-image lists of :class:`Detection`, NMS-filtered, sorted by
+    confidence.
+    """
+    boxes, conf = decode_grid(raw, anchors)
+    n = raw.shape[0]
+    results: list[list[Detection]] = []
+    for i in range(n):
+        flat_boxes = boxes[i].reshape(-1, 4)
+        flat_conf = conf[i].ravel()
+        mask = flat_conf >= conf_threshold
+        cand_boxes = flat_boxes[mask]
+        cand_conf = flat_conf[mask]
+        kept = nms(cand_boxes, cand_conf, iou_threshold, max_detections)
+        results.append(
+            [Detection(cand_boxes[k].copy(), float(cand_conf[k]))
+             for k in kept]
+        )
+    return results

@@ -1,0 +1,144 @@
+"""Detection training loop (Section 6.1 recipe, budget-scaled).
+
+The paper trains end-to-end with SGD, a learning rate annealed from
+1e-4 to 1e-7, multi-scale training and distort/jitter/crop/resize
+augmentation.  :class:`DetectionTrainer` reproduces that recipe with a
+configurable budget; the fast-training path used by the NAS flow
+(Stage 1 "each DNN sketch is quickly trained for 20 epochs") is the same
+loop with a small ``epochs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.augment import augment_batch, multiscale_size, resize_bilinear
+from ..datasets.dacsdc import DetectionDataset
+from ..nn import Tensor
+from ..nn.optim import SGD, Adam, ExponentialDecay
+from ..utils.rng import default_rng
+from .loss import YoloLoss
+from .metrics import evaluate_detector
+from .model import Detector
+
+__all__ = ["TrainConfig", "TrainResult", "DetectionTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training hyperparameters.
+
+    ``optimizer='sgd'`` with the default learning rates matches the
+    paper's schedule shape (geometric 1e-4 -> 1e-7 decay scaled up for
+    the small synthetic task); ``'adam'`` converges faster on tiny
+    models and is the default for budgeted benches.
+    """
+
+    epochs: int = 12
+    batch_size: int = 16
+    optimizer: str = "adam"
+    lr: float = 2e-3
+    final_lr: float | None = None  # None = constant lr; set to anneal
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    augment: bool = True
+    multiscale: bool = False
+    multiscale_scales: tuple[float, ...] = (0.75, 1.0, 1.25)
+    eval_every: int = 0  # 0 = only at the end
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    """Loss curve and evaluation history of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    val_ious: list[tuple[int, float]] = field(default_factory=list)
+    final_iou: float = 0.0
+
+    @property
+    def best_iou(self) -> float:
+        best = max((iou for _, iou in self.val_ious), default=0.0)
+        return max(best, self.final_iou)
+
+
+class DetectionTrainer:
+    """Train a :class:`~repro.detection.model.Detector` on a dataset."""
+
+    def __init__(self, detector: Detector, config: TrainConfig | None = None):
+        self.detector = detector
+        self.config = config or TrainConfig()
+        self.loss_fn = YoloLoss(detector.anchors)
+
+    def _make_optimizer(self):
+        cfg = self.config
+        params = self.detector.parameters()
+        if cfg.optimizer == "sgd":
+            return SGD(params, lr=cfg.lr, momentum=cfg.momentum,
+                       weight_decay=cfg.weight_decay)
+        if cfg.optimizer == "adam":
+            return Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        raise ValueError(f"unknown optimizer {self.config.optimizer!r}")
+
+    def fit(
+        self,
+        train: DetectionDataset,
+        val: DetectionDataset | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> TrainResult:
+        """Run the training loop; returns the loss/IoU history."""
+        cfg = self.config
+        rng = (
+            np.random.default_rng(cfg.seed) if rng is None else default_rng(rng)
+        )
+        opt = self._make_optimizer()
+        steps_per_epoch = max(1, len(train) // cfg.batch_size)
+        sched = None
+        if cfg.final_lr is not None:
+            sched = ExponentialDecay(
+                opt,
+                total_steps=cfg.epochs * steps_per_epoch,
+                final_lr=cfg.final_lr,
+            )
+        result = TrainResult()
+        self.detector.train()
+
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for images, boxes in train.iter_batches(cfg.batch_size, rng):
+                if cfg.augment:
+                    images, boxes = augment_batch(images, boxes, rng)
+                if cfg.multiscale:
+                    hw = multiscale_size(
+                        train.image_hw, rng, cfg.multiscale_scales,
+                        divisor=getattr(self.detector.backbone, "stride", 8),
+                    )
+                    images = resize_bilinear(images, hw)
+                raw = self.detector(Tensor(images))
+                loss = self.loss_fn(raw, boxes)
+                self.detector.zero_grad()
+                loss.backward()
+                opt.step()
+                if sched is not None:
+                    sched.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            result.losses.append(epoch_loss / n_batches)
+            if (
+                val is not None
+                and cfg.eval_every
+                and (epoch + 1) % cfg.eval_every == 0
+            ):
+                iou = evaluate_detector(self.detector, val.images, val.boxes)
+                result.val_ious.append((epoch, iou))
+                self.detector.train()
+
+        if val is not None:
+            result.final_iou = evaluate_detector(
+                self.detector, val.images, val.boxes
+            )
+        self.detector.eval()
+        return result

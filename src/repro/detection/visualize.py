@@ -1,0 +1,88 @@
+"""Lightweight visualization: draw boxes into image arrays, ASCII scenes.
+
+No plotting dependency — boxes are rasterized directly into the float
+image (for saving/inspection) and scenes can be rendered as ASCII for
+terminal-friendly examples and debugging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .boxes import cxcywh_to_xyxy
+
+__all__ = ["draw_box", "draw_detections", "ascii_scene"]
+
+_DEFAULT_COLOR = (1.0, 0.1, 0.1)
+
+
+def draw_box(
+    image: np.ndarray,
+    box_cxcywh: np.ndarray,
+    color: tuple[float, float, float] = _DEFAULT_COLOR,
+    thickness: int = 1,
+) -> np.ndarray:
+    """Return a copy of (3, H, W) ``image`` with a box outline drawn."""
+    img = np.array(image, copy=True)
+    _, h, w = img.shape
+    x1, y1, x2, y2 = cxcywh_to_xyxy(np.asarray(box_cxcywh))
+    px1 = int(np.clip(round(x1 * w), 0, w - 1))
+    px2 = int(np.clip(round(x2 * w), 0, w - 1))
+    py1 = int(np.clip(round(y1 * h), 0, h - 1))
+    py2 = int(np.clip(round(y2 * h), 0, h - 1))
+    c = np.array(color, dtype=img.dtype).reshape(3, 1)
+    t = max(1, thickness)
+    img[:, py1 : py1 + t, px1 : px2 + 1] = c[..., None]
+    img[:, max(0, py2 - t + 1) : py2 + 1, px1 : px2 + 1] = c[..., None]
+    img[:, py1 : py2 + 1, px1 : px1 + t] = c[..., None]
+    img[:, py1 : py2 + 1, max(0, px2 - t + 1) : px2 + 1] = c[..., None]
+    return img
+
+
+def draw_detections(
+    image: np.ndarray,
+    pred_cxcywh: np.ndarray | None = None,
+    gt_cxcywh: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw prediction (red) and ground truth (green) onto an image."""
+    img = np.array(image, copy=True)
+    if gt_cxcywh is not None:
+        img = draw_box(img, gt_cxcywh, color=(0.1, 1.0, 0.1))
+    if pred_cxcywh is not None:
+        img = draw_box(img, pred_cxcywh, color=(1.0, 0.1, 0.1))
+    return img
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_scene(
+    image: np.ndarray,
+    box_cxcywh: np.ndarray | None = None,
+    width: int = 64,
+) -> str:
+    """Terminal rendering of a (3, H, W) image, box corners marked ``+``.
+
+    Luminance is mapped onto a 10-step character ramp; aspect ratio is
+    roughly preserved (characters are ~2x taller than wide).
+    """
+    _, h, w = image.shape
+    lum = image.mean(axis=0)
+    out_w = min(width, w)
+    out_h = max(1, int(round(h / w * out_w / 2)))
+    ys = np.linspace(0, h - 1, out_h).astype(int)
+    xs = np.linspace(0, w - 1, out_w).astype(int)
+    grid = lum[np.ix_(ys, xs)]
+    levels = np.clip(
+        (grid * (len(_ASCII_RAMP) - 1)).round().astype(int),
+        0,
+        len(_ASCII_RAMP) - 1,
+    )
+    chars = [[_ASCII_RAMP[v] for v in row] for row in levels]
+    if box_cxcywh is not None:
+        x1, y1, x2, y2 = cxcywh_to_xyxy(np.asarray(box_cxcywh))
+        for bx, by in ((x1, y1), (x2, y1), (x1, y2), (x2, y2)):
+            ci = int(np.clip(round(by * (out_h - 1)), 0, out_h - 1))
+            cj = int(np.clip(round(bx * (out_w - 1)), 0, out_w - 1))
+            chars[ci][cj] = "+"
+    return "\n".join("".join(row) for row in chars)

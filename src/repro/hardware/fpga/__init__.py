@@ -1,0 +1,44 @@
+"""FPGA performance and resource models (Ultra96, Pynq-Z1)."""
+
+from .hls import (
+    DEFAULT_DESIGN_SPACE,
+    IPReport,
+    best_configuration,
+    characterization_sweep,
+    characterize_ip,
+)
+from .ip import ConvIP, IPConfig, IPPool, PoolIP, auto_configure
+from .latency import FpgaLatencyModel, FpgaLayerTiming, estimate_fpga_latency_ms
+from .resources import (
+    bram18_for_buffer,
+    bram36_for_buffer,
+    dsp_count,
+    dsps_per_multiplier,
+    fm_buffer_bram36,
+    lut_estimate,
+)
+from .tiling import TilingPlan, plan_batch_tiling
+
+__all__ = [
+    "ConvIP",
+    "IPReport",
+    "characterize_ip",
+    "characterization_sweep",
+    "best_configuration",
+    "DEFAULT_DESIGN_SPACE",
+    "IPConfig",
+    "IPPool",
+    "PoolIP",
+    "auto_configure",
+    "FpgaLatencyModel",
+    "FpgaLayerTiming",
+    "estimate_fpga_latency_ms",
+    "dsps_per_multiplier",
+    "dsp_count",
+    "bram18_for_buffer",
+    "bram36_for_buffer",
+    "fm_buffer_bram36",
+    "lut_estimate",
+    "TilingPlan",
+    "plan_batch_tiling",
+]

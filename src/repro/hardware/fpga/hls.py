@@ -1,0 +1,123 @@
+"""IP characterization — the role of the HLS tool in the paper's flow.
+
+Section 4.2: "For each IP under different configurations, such as
+computation parallelism and buffer size, we collect its hardware
+resource usage and latency from high level synthesis tool.  Based on
+individual IP performance, we adopt the DNN performance modeling from
+(Hao et al., 2019)."
+
+:func:`characterize_ip` produces the per-configuration report an HLS run
+would, and :func:`characterization_sweep` tabulates a whole design
+space, from which :func:`best_configuration` picks the
+highest-throughput IP that fits the device — the data the paper's
+Stage-1/Stage-2 latency estimation is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..descriptor import LayerDesc
+from ..spec import FpgaSpec
+from .ip import ConvIP, IPConfig
+
+__all__ = [
+    "IPReport",
+    "characterize_ip",
+    "characterization_sweep",
+    "best_configuration",
+    "DEFAULT_DESIGN_SPACE",
+]
+
+# (pi, po) parallelism candidates, mirroring auto_configure's menu.
+DEFAULT_DESIGN_SPACE: tuple[tuple[int, int], ...] = (
+    (64, 16), (48, 16), (32, 16), (32, 8), (16, 16), (16, 8),
+    (16, 4), (8, 8), (8, 4), (4, 4),
+)
+
+
+@dataclass(frozen=True)
+class IPReport:
+    """One row of the characterization table (one HLS run)."""
+
+    config: IPConfig
+    dsp: int
+    bram36: int
+    lut: int
+    reference_cycles: int
+    throughput_gmacs: float
+
+    @property
+    def lanes(self) -> int:
+        return self.config.lanes
+
+    def fits(self, spec: FpgaSpec) -> bool:
+        return (
+            self.dsp <= spec.dsp
+            and self.bram36 <= spec.bram36
+            and self.lut <= spec.lut
+        )
+
+
+def _reference_layer() -> LayerDesc:
+    """The workload every configuration is characterized against.
+
+    A mid-network SkyNet-like pointwise conv: 96 -> 192 channels over a
+    20x40 tile — representative of where the cycles go.
+    """
+    return LayerDesc("pwconv", 96, 192, 20, 40, name="reference")
+
+
+def characterize_ip(
+    config: IPConfig,
+    freq_mhz: float = 200.0,
+    tile_hw: tuple[int, int] = (20, 40),
+) -> IPReport:
+    """Produce the HLS-style report for one IP configuration."""
+    ip = ConvIP(config, tile_hw=tile_hw)
+    layer = _reference_layer()
+    cycles = ip.cycles(layer)
+    seconds = cycles / (freq_mhz * 1e6)
+    return IPReport(
+        config=config,
+        dsp=ip.dsp(),
+        bram36=ip.bram36(),
+        lut=ip.lut(),
+        reference_cycles=cycles,
+        throughput_gmacs=layer.macs / seconds / 1e9,
+    )
+
+
+def characterization_sweep(
+    w_bits: int = 11,
+    fm_bits: int = 9,
+    freq_mhz: float = 200.0,
+    design_space: tuple[tuple[int, int], ...] = DEFAULT_DESIGN_SPACE,
+) -> list[IPReport]:
+    """Characterize every configuration in the design space."""
+    return [
+        characterize_ip(IPConfig(pi, po, w_bits, fm_bits), freq_mhz)
+        for pi, po in design_space
+    ]
+
+
+def best_configuration(
+    spec: FpgaSpec,
+    w_bits: int = 11,
+    fm_bits: int = 9,
+    design_space: tuple[tuple[int, int], ...] = DEFAULT_DESIGN_SPACE,
+) -> IPReport:
+    """Highest-throughput configuration that fits ``spec``.
+
+    This is the "configure the IPs to be as large as possible within the
+    available FPGA resources" rule, driven by the characterization data.
+    """
+    fitting = [
+        r
+        for r in characterization_sweep(w_bits, fm_bits, spec.freq_mhz,
+                                        design_space)
+        if r.fits(spec)
+    ]
+    if not fitting:
+        raise ValueError(f"no configuration fits {spec.name}")
+    return max(fitting, key=lambda r: r.throughput_gmacs)

@@ -1,0 +1,197 @@
+"""Configurable hardware IPs for the FPGA accelerator.
+
+Following the paper's IP-based mapping strategy (Section 4.2, after Hao
+et al. 2019): "all DNN layers of the same type share the same hardware
+computational IP", and IPs are configured "as large as possible within
+the available FPGA resources".
+
+Each IP reports, for a given layer, the cycle count and DMA traffic it
+needs, and, for its configuration, the DSP/BRAM/LUT budget it consumes.
+The end-to-end model in :mod:`repro.hardware.fpga.latency` sums these
+over a network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..descriptor import LayerDesc
+from ..spec import FpgaSpec
+from .resources import bram36_for_buffer, dsp_count, lut_estimate
+
+__all__ = ["IPConfig", "ConvIP", "PoolIP", "IPPool", "auto_configure"]
+
+
+@dataclass(frozen=True)
+class IPConfig:
+    """Parallelism and precision of one compute IP.
+
+    ``pi`` input channels and ``po`` output channels are processed per
+    cycle (``pi * po`` multiply lanes for dense/pointwise convolution;
+    depthwise uses ``pi`` lanes).
+    """
+
+    pi: int
+    po: int
+    w_bits: int = 11
+    fm_bits: int = 9
+
+    @property
+    def lanes(self) -> int:
+        return self.pi * self.po
+
+
+class ConvIP:
+    """Shared convolution IP (handles conv / pwconv / dwconv layers).
+
+    ``ii`` is the achieved pipeline initiation interval of the MAC loop:
+    1.0 would be a perfect HLS pipeline; real IPs pay line-buffer stalls,
+    tile load/drain, and AXI backpressure, which we fold into a
+    calibrated fractional interval (DESIGN.md §5).
+    """
+
+    handles = ("conv", "pwconv", "dwconv")
+
+    def __init__(
+        self,
+        config: IPConfig,
+        tile_hw: tuple[int, int] = (20, 40),
+        ii: float = 3.2,
+    ) -> None:
+        if ii < 1.0:
+            raise ValueError("initiation interval cannot beat 1.0")
+        self.config = config
+        self.tile_hw = tile_hw
+        self.ii = ii
+
+    # -------------------------- performance -------------------------- #
+    def cycles(self, layer: LayerDesc) -> int:
+        """Compute cycles for one layer on this IP.
+
+        Channel tiling: ceil(Cin/pi) * ceil(Cout/po) passes over the
+        output pixels, k^2 cycles each, at the achieved initiation
+        interval.  Depthwise convolution engages only the ``pi`` lane
+        dimension.
+        """
+        cfg = self.config
+        pix = layer.out_h * layer.out_w
+        if layer.kind == "dwconv":
+            passes = math.ceil(layer.in_ch / cfg.pi) * pix * layer.kernel**2
+        else:
+            cin_tiles = math.ceil(layer.in_ch / cfg.pi)
+            cout_tiles = math.ceil(layer.out_ch / cfg.po)
+            passes = cin_tiles * cout_tiles * pix * layer.kernel**2
+        return math.ceil(passes * self.ii)
+
+    def dma_bytes(self, layer: LayerDesc) -> float:
+        """Off-chip traffic: input FM + output FM + weights."""
+        cfg = self.config
+        fm_bytes = (layer.in_elems() + layer.out_elems()) * cfg.fm_bits / 8.0
+        w_bytes = layer.params * cfg.w_bits / 8.0
+        return fm_bytes + w_bytes
+
+    # -------------------------- resources ---------------------------- #
+    def dsp(self) -> int:
+        cfg = self.config
+        return dsp_count(cfg.lanes, cfg.w_bits, cfg.fm_bits)
+
+    def bram36(self) -> int:
+        cfg = self.config
+        th, tw = self.tile_hw
+        depth = th * tw
+        in_buf = sum(
+            bram36_for_buffer(depth, cfg.fm_bits) for _ in range(cfg.pi)
+        )
+        out_buf = sum(
+            bram36_for_buffer(depth, cfg.fm_bits) for _ in range(cfg.po)
+        )
+        # weight buffer: one kernel tile (pi*po*9 weights) double-buffered
+        w_buf = bram36_for_buffer(cfg.pi * 9 * 2, cfg.w_bits * cfg.po)
+        return in_buf + out_buf + w_buf
+
+    def lut(self) -> int:
+        cfg = self.config
+        return lut_estimate(cfg.lanes, cfg.w_bits, cfg.fm_bits)
+
+
+class PoolIP:
+    """Max-pooling IP (cheap: comparator tree, no DSPs)."""
+
+    handles = ("pool",)
+
+    def __init__(self, lanes: int = 8, fm_bits: int = 9) -> None:
+        self.lanes = lanes
+        self.fm_bits = fm_bits
+
+    def cycles(self, layer: LayerDesc) -> int:
+        pix = layer.out_h * layer.out_w
+        return math.ceil(layer.out_ch / self.lanes) * pix * layer.kernel**2
+
+    def dma_bytes(self, layer: LayerDesc) -> float:
+        return (layer.in_elems() + layer.out_elems()) * self.fm_bits / 8.0
+
+    def dsp(self) -> int:
+        return 0
+
+    def bram36(self) -> int:
+        return 2  # small line buffers
+
+    def lut(self) -> int:
+        return 3000 + 40 * self.lanes
+
+
+class IPPool:
+    """The set of IPs instantiated on the device, one per layer type."""
+
+    def __init__(self, conv_ip: ConvIP, pool_ip: PoolIP) -> None:
+        self.conv_ip = conv_ip
+        self.pool_ip = pool_ip
+
+    def ip_for(self, layer: LayerDesc):
+        if layer.kind in ConvIP.handles:
+            return self.conv_ip
+        if layer.kind in PoolIP.handles:
+            return self.pool_ip
+        return None  # bn/act fold into conv; concat/reorg are addressing
+
+    # aggregate resources
+    def dsp(self) -> int:
+        return self.conv_ip.dsp() + self.pool_ip.dsp()
+
+    def bram36(self) -> int:
+        return self.conv_ip.bram36() + self.pool_ip.bram36()
+
+    def lut(self) -> int:
+        return self.conv_ip.lut() + self.pool_ip.lut()
+
+    def fits(self, spec: FpgaSpec) -> bool:
+        return (
+            self.dsp() <= spec.dsp
+            and self.bram36() <= spec.bram36
+            and self.lut() <= spec.lut
+        )
+
+
+def auto_configure(
+    spec: FpgaSpec,
+    w_bits: int = 11,
+    fm_bits: int = 9,
+    tile_hw: tuple[int, int] = (20, 40),
+    candidates: tuple[tuple[int, int], ...] = (
+        (64, 16), (48, 16), (32, 16), (32, 8), (16, 16), (16, 8),
+        (16, 4), (8, 8), (8, 4), (4, 4), (4, 2), (2, 2),
+    ),
+) -> IPPool:
+    """Pick the largest IP configuration that fits the device.
+
+    Mirrors the paper: "we configure the IPs to be as large as possible
+    within the available FPGA resources".  Candidates are tried from
+    largest to smallest lane count.
+    """
+    pool_ip = PoolIP(fm_bits=fm_bits)
+    for pi, po in sorted(candidates, key=lambda c: -c[0] * c[1]):
+        pool = IPPool(ConvIP(IPConfig(pi, po, w_bits, fm_bits), tile_hw), pool_ip)
+        if pool.fits(spec):
+            return pool
+    raise ValueError(f"no IP configuration fits device {spec.name}")

@@ -1,0 +1,137 @@
+"""IP-based end-to-end FPGA latency model (Hao et al. 2019 style).
+
+The accelerator executes layers sequentially on the shared IPs; each
+layer's time is the max of its compute time (cycles at the design clock)
+and its DMA time (weights + feature maps over the PS-PL bandwidth), plus
+a fixed invocation overhead (IP restart, descriptor setup).  This is the
+same estimator the paper's bottom-up flow uses during the search (Stage
+2 "Latency estimation") — and, per DESIGN.md, also what we use for the
+deployment numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..descriptor import LayerDesc, NetDescriptor
+from ..spec import FpgaSpec
+from .ip import IPPool, auto_configure
+
+__all__ = ["FpgaLatencyModel", "FpgaLayerTiming", "estimate_fpga_latency_ms"]
+
+# Per-layer IP invocation overhead (control, AXI descriptor setup), ms.
+_INVOKE_OVERHEAD_MS = 0.05
+# Fraction of the nominal PS DRAM bandwidth available to the PL DMA
+# (the ARM cores and the OS share the same DDR controller).
+_DMA_EFFICIENCY = 0.6
+
+
+@dataclass(frozen=True)
+class FpgaLayerTiming:
+    name: str
+    kind: str
+    compute_ms: float
+    dma_ms: float
+    overhead_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return max(self.compute_ms, self.dma_ms) + self.overhead_ms
+
+
+class FpgaLatencyModel:
+    """Estimate FPGA latency of a network on a device + IP pool.
+
+    Parameters
+    ----------
+    spec:
+        Target board.
+    ip_pool:
+        Instantiated IPs; auto-configured for the device when omitted.
+    batch:
+        Input batch size (with SkyNet's tiling scheme, 4 inputs are
+        stitched and processed as one enlarged input — model that by
+        passing ``batch=4``); weights are reused across the batch so
+        weight DMA does not scale with it.
+    """
+
+    def __init__(
+        self,
+        spec: FpgaSpec,
+        ip_pool: IPPool | None = None,
+        batch: int = 1,
+        w_bits: int = 11,
+        fm_bits: int = 9,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.spec = spec
+        self.batch = batch
+        self.ip_pool = (
+            ip_pool
+            if ip_pool is not None
+            else auto_configure(spec, w_bits=w_bits, fm_bits=fm_bits)
+        )
+
+    def layer_timing(self, layer: LayerDesc) -> FpgaLayerTiming:
+        ip = self.ip_pool.ip_for(layer)
+        if ip is None:
+            # bn/act fold into the conv IP's output stage; concat/reorg
+            # are realized as addressing patterns in the DMA.
+            return FpgaLayerTiming(layer.name or layer.kind, layer.kind, 0.0, 0.0, 0.0)
+        cycles = ip.cycles(layer) * self.batch
+        compute_ms = cycles / (self.spec.freq_mhz * 1e3)
+        fm_bytes = ip.dma_bytes(layer)
+        # weights are loaded once per layer regardless of batch
+        w_bytes = getattr(ip, "config", None)
+        if w_bytes is not None:
+            weight_bytes = layer.params * ip.config.w_bits / 8.0
+            fm_only = fm_bytes - weight_bytes
+            total_bytes = fm_only * self.batch + weight_bytes
+        else:
+            total_bytes = fm_bytes * self.batch
+        dma_ms = total_bytes / (self.spec.dram_gbps * _DMA_EFFICIENCY * 1e9) * 1e3
+        return FpgaLayerTiming(
+            layer.name or layer.kind,
+            layer.kind,
+            compute_ms,
+            dma_ms,
+            _INVOKE_OVERHEAD_MS,
+        )
+
+    def network_latency_ms(self, net: NetDescriptor) -> float:
+        """Latency of one batch through the whole network."""
+        return sum(self.layer_timing(l).total_ms for l in net)
+
+    def per_frame_latency_ms(self, net: NetDescriptor) -> float:
+        return self.network_latency_ms(net) / self.batch
+
+    def fps(self, net: NetDescriptor) -> float:
+        return 1e3 / self.per_frame_latency_ms(net)
+
+    def timing_table(self, net: NetDescriptor) -> list[FpgaLayerTiming]:
+        return [self.layer_timing(l) for l in net]
+
+    # ------------------------------------------------------------------ #
+    def resource_report(self) -> dict[str, int]:
+        """Resources consumed by the IP pool vs the device budget."""
+        return {
+            "dsp_used": self.ip_pool.dsp(),
+            "dsp_total": self.spec.dsp,
+            "bram36_used": self.ip_pool.bram36(),
+            "bram36_total": self.spec.bram36,
+            "lut_used": self.ip_pool.lut(),
+            "lut_total": self.spec.lut,
+        }
+
+
+def estimate_fpga_latency_ms(
+    net: NetDescriptor,
+    spec: FpgaSpec,
+    batch: int = 1,
+    w_bits: int = 11,
+    fm_bits: int = 9,
+) -> float:
+    """Convenience wrapper: per-frame latency on ``spec``."""
+    model = FpgaLatencyModel(spec, batch=batch, w_bits=w_bits, fm_bits=fm_bits)
+    return model.per_frame_latency_ms(net)

@@ -1,0 +1,116 @@
+"""FPGA resource models: DSP packing, BRAM allocation, LUT estimates.
+
+These reproduce the motivational studies of Fig. 2(b)/(c):
+
+* **DSP packing** — a DSP48E2 has a 27x18 hardware multiplier.  Two
+  weight x feature-map products can share one DSP when the weight fits
+  in 14 bits and the combined operand width stays within the 27-bit
+  port (the standard double-pumped/packed-INT trick the contest teams
+  used).  That is why, in Fig. 2(c), moving weights from 15 to 14 bits
+  at FM16 halves DSP usage from 128 to 64.
+* **BRAM allocation** — HLS memories are banked and their depth is
+  rounded up to a power of two for addressing, so shrinking the input
+  by a resize factor does nothing until the required depth crosses a
+  power-of-two boundary — then allocation halves at once, the cliff
+  Fig. 2(b) shows below resize factor ~0.9.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dsps_per_multiplier",
+    "dsp_count",
+    "bram18_for_buffer",
+    "bram36_for_buffer",
+    "fm_buffer_bram36",
+    "lut_estimate",
+    "BRAM18_BITS",
+]
+
+BRAM18_BITS = 18 * 1024
+# DSP48E2 multiplier port widths.
+_PORT_A_BITS = 27
+_PORT_B_BITS = 18
+# Weight width at or below which two products pack into one DSP.
+_PACK2_WEIGHT_BITS = 14
+_PACK2_SUM_BITS = 30
+
+
+def dsps_per_multiplier(w_bits: int, fm_bits: int) -> float:
+    """DSP slices consumed by one weight x FM multiplier.
+
+    Returns 0.5 when two products pack per DSP, 1.0 for a plain mapping,
+    and 2.0/4.0 when the operands exceed the native ports and the
+    product must be decomposed.
+    """
+    if w_bits <= 0 or fm_bits <= 0:
+        raise ValueError("bit widths must be positive")
+    wide = max(w_bits, fm_bits)
+    narrow = min(w_bits, fm_bits)
+    if wide > _PORT_A_BITS or narrow > _PORT_B_BITS:
+        # decompose: one extra DSP per exceeded port
+        n_a = math.ceil(wide / _PORT_A_BITS)
+        n_b = math.ceil(narrow / _PORT_B_BITS)
+        return float(n_a * n_b)
+    if w_bits <= _PACK2_WEIGHT_BITS and w_bits + fm_bits <= _PACK2_SUM_BITS:
+        return 0.5
+    return 1.0
+
+
+def dsp_count(lanes: int, w_bits: int, fm_bits: int) -> int:
+    """DSPs for ``lanes`` parallel multipliers at given precisions."""
+    return math.ceil(lanes * dsps_per_multiplier(w_bits, fm_bits))
+
+
+def _pow2_at_least(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+def bram18_for_buffer(depth: int, width_bits: int, pow2_depth: bool = True) -> int:
+    """18 Kb BRAMs for one banked buffer of ``depth`` x ``width_bits``.
+
+    ``pow2_depth`` models the HLS address-space rounding responsible for
+    the Fig. 2(b) cliff.
+    """
+    if depth <= 0 or width_bits <= 0:
+        raise ValueError("depth and width must be positive")
+    if pow2_depth:
+        depth = _pow2_at_least(depth)
+    return math.ceil(depth * width_bits / BRAM18_BITS)
+
+
+def bram36_for_buffer(depth: int, width_bits: int, pow2_depth: bool = True) -> int:
+    """36 Kb BRAMs (= 2x BRAM18) for one buffer."""
+    return math.ceil(bram18_for_buffer(depth, width_bits, pow2_depth) / 2)
+
+
+def fm_buffer_bram36(
+    image_hw: tuple[int, int],
+    fm_bits: int,
+    resize_factor: float = 1.0,
+    banks: int = 8,
+    ping_pong: bool = True,
+) -> int:
+    """BRAM36 count of the shared feature-map buffer (Fig. 2b study).
+
+    The accelerator's FM buffer is banked over ``banks`` parallel
+    channels and must hold one full input-resolution plane per bank;
+    resizing the input by ``resize_factor`` shrinks the required depth
+    quadratically, but the allocation only drops when the power-of-two
+    depth boundary is crossed.
+    """
+    if not 0.0 < resize_factor <= 1.0:
+        raise ValueError("resize_factor must be in (0, 1]")
+    h, w = image_hw
+    depth = math.ceil(h * resize_factor) * math.ceil(w * resize_factor)
+    per_bank = bram18_for_buffer(depth, fm_bits, pow2_depth=True)
+    total18 = per_bank * banks * (2 if ping_pong else 1)
+    return math.ceil(total18 / 2)
+
+
+def lut_estimate(lanes: int, w_bits: int, fm_bits: int, base: int = 12000) -> int:
+    """Rough LUT usage: control base + adder-tree/muxing per lane."""
+    per_lane = 18 + 2 * (w_bits + fm_bits)
+    return base + lanes * per_lane

@@ -1,0 +1,14 @@
+"""GPU performance models (TX2, 1080Ti)."""
+
+from .latency import GpuLatencyModel, LayerTiming, estimate_latency_ms, scale_latency
+from .tensorrt import TrtDeployment, fp16_inference, simulate_fp16
+
+__all__ = [
+    "GpuLatencyModel",
+    "LayerTiming",
+    "estimate_latency_ms",
+    "scale_latency",
+    "TrtDeployment",
+    "fp16_inference",
+    "simulate_fp16",
+]

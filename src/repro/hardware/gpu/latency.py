@@ -1,0 +1,130 @@
+"""Roofline-style GPU latency model.
+
+Each layer is the max of a compute term (MACs against the device's
+achievable FLOPS for that layer type) and a memory term (activation +
+weight traffic against DRAM bandwidth), plus a fixed kernel-launch
+overhead.  BN and activation layers are assumed fused with their
+producer (cuDNN-style), so they contribute only a fraction of their
+nominal traffic.
+
+This mirrors the paper's GPU flow: latency is *measured* on the training
+GPU and *scaled* to the deployment GPU ("we directly measure the
+inference latency on the training GPU, and scale latency to the target
+GPU", Section 4.2); :func:`scale_latency` is that scaling step, and
+:func:`estimate_latency_ms` plays the role of the measurement on a
+modeled device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..descriptor import LayerDesc, NetDescriptor
+from ..spec import GpuSpec
+
+__all__ = ["GpuLatencyModel", "LayerTiming", "estimate_latency_ms", "scale_latency"]
+
+_BYTES_FP32 = 4.0
+# BN/activation/add kernels are fused with the producing conv in deployed
+# stacks; they keep this fraction of their nominal memory traffic.
+_FUSED_TRAFFIC = 0.15
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Per-layer timing breakdown (milliseconds)."""
+
+    name: str
+    kind: str
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return max(self.compute_ms, self.memory_ms) + self.overhead_ms
+
+
+class GpuLatencyModel:
+    """Estimate per-layer and end-to-end GPU latency for a network.
+
+    Parameters
+    ----------
+    spec:
+        Device description (see :mod:`repro.hardware.spec`).
+    batch:
+        Inference batch size; compute and traffic scale linearly, launch
+        overhead does not (that is exactly why batching helps).
+    precision_bytes:
+        Bytes per element (4 = fp32, 2 = fp16/TensorRT-half).
+    """
+
+    def __init__(
+        self, spec: GpuSpec, batch: int = 1, precision_bytes: float = _BYTES_FP32
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.spec = spec
+        self.batch = batch
+        self.precision_bytes = precision_bytes
+
+    # ------------------------------------------------------------------ #
+    def _efficiency(self, kind: str) -> float:
+        if kind in ("conv", "pwconv", "linear"):
+            return self.spec.eff_conv
+        if kind == "dwconv":
+            return self.spec.eff_dwconv
+        return self.spec.eff_elementwise
+
+    def layer_timing(self, layer: LayerDesc) -> LayerTiming:
+        spec = self.spec
+        flops = 2.0 * layer.macs * self.batch
+        eff = self._efficiency(layer.kind)
+        compute_ms = flops / (spec.peak_gflops * 1e9 * eff) * 1e3
+
+        traffic = (
+            layer.in_elems() + layer.out_elems()
+        ) * self.batch * self.precision_bytes + layer.params * self.precision_bytes
+        if layer.kind in ("bn", "act", "add"):
+            traffic *= _FUSED_TRAFFIC
+        memory_ms = traffic / (spec.dram_gbps * 1e9) * 1e3
+
+        overhead_ms = spec.kernel_overhead_us / 1e3
+        if layer.kind in ("bn", "act", "add", "concat", "reorg"):
+            overhead_ms *= _FUSED_TRAFFIC  # fused: no separate launch
+        return LayerTiming(
+            layer.name or layer.kind, layer.kind, compute_ms, memory_ms, overhead_ms
+        )
+
+    def network_latency_ms(self, net: NetDescriptor) -> float:
+        """End-to-end latency for one batch, in milliseconds."""
+        return sum(self.layer_timing(l).total_ms for l in net)
+
+    def per_frame_latency_ms(self, net: NetDescriptor) -> float:
+        """Amortized per-image latency (batch latency / batch size)."""
+        return self.network_latency_ms(net) / self.batch
+
+    def fps(self, net: NetDescriptor) -> float:
+        """Throughput in frames per second at this batch size."""
+        return 1e3 / self.per_frame_latency_ms(net)
+
+    def timing_table(self, net: NetDescriptor) -> list[LayerTiming]:
+        return [self.layer_timing(l) for l in net]
+
+
+def estimate_latency_ms(
+    net: NetDescriptor, spec: GpuSpec, batch: int = 1, precision_bytes: float = 4.0
+) -> float:
+    """Convenience wrapper: per-frame latency of ``net`` on ``spec``."""
+    return GpuLatencyModel(spec, batch, precision_bytes).per_frame_latency_ms(net)
+
+
+def scale_latency(latency_ms: float, measured_on: GpuSpec, target: GpuSpec) -> float:
+    """Scale a latency measured on one GPU to another (Section 4.2).
+
+    Uses the ratio of effective dense-conv throughput, the dominant term
+    for the networks in this study.
+    """
+    src = measured_on.peak_gflops * measured_on.eff_conv
+    dst = target.peak_gflops * target.eff_conv
+    return latency_ms * src / dst

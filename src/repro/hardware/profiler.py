@@ -1,0 +1,75 @@
+"""Network profiling: parameters, MACs, feature-map traffic.
+
+Backs the headline parameter-size comparisons (e.g. "37.20x smaller
+than ResNet-50", Section 7) and the per-layer tables used throughout
+the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .descriptor import NetDescriptor
+
+__all__ = ["NetworkProfile", "profile_network", "compare_networks"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Aggregate statistics of one network at one input resolution."""
+
+    name: str
+    params: int
+    macs: int
+    fm_elems: int
+    max_fm_elems: int
+
+    @property
+    def param_mb_fp32(self) -> float:
+        return self.params * 4 / 1e6
+
+    @property
+    def gmacs(self) -> float:
+        return self.macs / 1e9
+
+    def param_ratio(self, other: "NetworkProfile") -> float:
+        """How many times more parameters ``other`` has than ``self``."""
+        if self.params == 0:
+            raise ZeroDivisionError("profile has zero parameters")
+        return other.params / self.params
+
+
+def profile_network(net: NetDescriptor) -> NetworkProfile:
+    """Profile a network descriptor."""
+    return NetworkProfile(
+        name=net.name,
+        params=net.total_params,
+        macs=net.total_macs,
+        fm_elems=net.total_fm_elems,
+        max_fm_elems=net.max_fm_elems,
+    )
+
+
+def compare_networks(
+    nets: list[NetDescriptor], baseline: int = 0
+) -> list[dict[str, float | str]]:
+    """Tabulate profiles relative to ``nets[baseline]``.
+
+    Returns one row per network with parameter/MAC ratios against the
+    baseline — the format of the paper's headline claims.
+    """
+    profiles = [profile_network(n) for n in nets]
+    base = profiles[baseline]
+    rows: list[dict[str, float | str]] = []
+    for p in profiles:
+        rows.append(
+            {
+                "name": p.name,
+                "params_m": p.params / 1e6,
+                "param_mb": p.param_mb_fp32,
+                "gmacs": p.gmacs,
+                "params_vs_base": p.params / base.params if base.params else 0.0,
+                "macs_vs_base": p.macs / base.macs if base.macs else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,137 @@
+"""Network pruning (optimization 2 of Table 1).
+
+Magnitude-based pruning in the style of Han et al. (2015): zero the
+smallest-magnitude weights, keep a mask so retraining cannot revive
+them, and optionally iterate prune→retrain (Ding et al., 2018).  This is
+the compression step of the *top-down* flow (Fig. 1) that the paper's
+bottom-up approach replaces — implemented here so the two flows can be
+compared head to head (see ``repro.core.topdown`` and
+``benchmarks/bench_flow_comparison.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+
+__all__ = ["PruningMask", "magnitude_prune", "sparsity", "prunable_parameters"]
+
+
+def prunable_parameters(model: Module) -> list[tuple[str, Parameter]]:
+    """Parameters worth pruning: multi-dimensional weights (not BN/bias)."""
+    return [
+        (name, p) for name, p in model.named_parameters() if p.data.ndim >= 2
+    ]
+
+
+@dataclass
+class PruningMask:
+    """Holds per-parameter binary masks and re-applies them after updates.
+
+    Retraining a pruned network must keep pruned connections at zero;
+    call :meth:`apply` after each optimizer step (or use
+    :meth:`wrap_optimizer`).
+    """
+
+    masks: dict[str, np.ndarray]
+    model: Module
+
+    def apply(self) -> None:
+        for name, p in self.model.named_parameters():
+            mask = self.masks.get(name)
+            if mask is not None:
+                p.data *= mask
+
+    def wrap_optimizer(self, optimizer):
+        """Return an optimizer whose ``step`` re-applies the masks."""
+        mask = self
+
+        class _Masked:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def step(self):
+                self._inner.step()
+                mask.apply()
+
+            def zero_grad(self):
+                self._inner.zero_grad()
+
+            def __getattr__(self, item):
+                return getattr(self._inner, item)
+
+        return _Masked(optimizer)
+
+    @property
+    def overall_sparsity(self) -> float:
+        total = sum(m.size for m in self.masks.values())
+        kept = sum(int(m.sum()) for m in self.masks.values())
+        return 1.0 - kept / max(total, 1)
+
+    def remaining_parameters(self, count_unmasked: bool = True) -> int:
+        """Nonzero weights in masked params (+ all unmasked params)."""
+        kept = sum(int(m.sum()) for m in self.masks.values())
+        if count_unmasked:
+            masked_names = set(self.masks)
+            kept += sum(
+                p.size
+                for name, p in self.model.named_parameters()
+                if name not in masked_names
+            )
+        return kept
+
+
+def magnitude_prune(
+    model: Module,
+    sparsity_target: float,
+    per_layer: bool = False,
+) -> PruningMask:
+    """Prune the smallest-magnitude weights to a target sparsity.
+
+    Parameters
+    ----------
+    model:
+        Network to prune in place (weights are zeroed immediately).
+    sparsity_target:
+        Fraction of prunable weights to remove, in [0, 1).
+    per_layer:
+        Apply the target within each layer (uniform sparsity) rather
+        than globally (global magnitude ranking, the Han et al. default).
+    """
+    if not 0.0 <= sparsity_target < 1.0:
+        raise ValueError("sparsity_target must be in [0, 1)")
+    params = prunable_parameters(model)
+    if not params:
+        raise ValueError("model has no prunable parameters")
+    masks: dict[str, np.ndarray] = {}
+
+    if per_layer:
+        for name, p in params:
+            k = int(round(sparsity_target * p.size))
+            threshold = (
+                np.partition(np.abs(p.data).ravel(), k)[k] if k > 0 else -1.0
+            )
+            masks[name] = (np.abs(p.data) >= threshold).astype(p.data.dtype)
+    else:
+        all_mags = np.concatenate(
+            [np.abs(p.data).ravel() for _, p in params]
+        )
+        k = int(round(sparsity_target * all_mags.size))
+        threshold = np.partition(all_mags, k)[k] if k > 0 else -1.0
+        for name, p in params:
+            masks[name] = (np.abs(p.data) >= threshold).astype(p.data.dtype)
+
+    mask = PruningMask(masks=masks, model=model)
+    mask.apply()
+    return mask
+
+
+def sparsity(model: Module) -> float:
+    """Fraction of exactly-zero weights among prunable parameters."""
+    params = prunable_parameters(model)
+    total = sum(p.size for _, p in params)
+    zeros = sum(int((p.data == 0).sum()) for _, p in params)
+    return zeros / max(total, 1)

@@ -1,0 +1,175 @@
+"""Fixed-point quantization of weights and feature maps.
+
+Implements the FPGA deployment path of Section 6.4.1 (Table 7's
+quantization schemes) and the motivational study of Fig. 2(a).
+
+Quantization is *fixed point*: values are mapped to ``bits``-bit signed
+integers with a power-of-two scale chosen per tensor from its dynamic
+range — matching what the FPGA IPs implement (shifts, no per-channel
+float rescale).  Feature maps are quantized at runtime through the
+activation-layer hook (:mod:`repro.nn.quant_hooks`); weights are
+quantized in place under a restoring context manager.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.quant_hooks import set_fm_hook
+
+__all__ = [
+    "quantize_fixed",
+    "quantization_error",
+    "weight_quantization",
+    "feature_map_quantization",
+    "quantized_inference",
+    "QuantScheme",
+    "TABLE7_SCHEMES",
+    "param_megabytes",
+    "fm_megabytes",
+]
+
+
+def quantize_fixed(x: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize ``x`` to ``bits``-bit signed fixed point (round-to-nearest).
+
+    The binary point is placed per tensor: integer bits cover the
+    observed dynamic range, the rest are fractional.  Returns the
+    dequantized (float) values, i.e. fake quantization.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits (sign + magnitude)")
+    x = np.asarray(x)
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    if max_abs == 0.0:
+        return x.copy()
+    # Binary point placed per tensor (a shift in hardware); int_bits may
+    # be negative for small-magnitude tensors so precision is not wasted.
+    int_bits = math.ceil(math.log2(max_abs + 1e-30)) + 1  # incl. sign
+    frac_bits = min(bits - int_bits, 300)  # keep 2**frac finite
+    scale = 2.0**frac_bits
+    qmax = 2 ** (bits - 1) - 1
+    q = np.clip(np.round(x * scale), -qmax - 1, qmax)
+    return (q / scale).astype(x.dtype)
+
+
+def quantization_error(x: np.ndarray, bits: int) -> float:
+    """RMS error introduced by :func:`quantize_fixed` at ``bits`` bits."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(np.sqrt(np.mean((x - quantize_fixed(x, bits)) ** 2)))
+
+
+@contextmanager
+def weight_quantization(
+    model: Module,
+    bits: int | None = None,
+    bits_for: Callable[[str], int | None] | None = None,
+) -> Iterator[Module]:
+    """Temporarily quantize model parameters in place.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Module`.
+    bits:
+        Uniform bit width for every parameter.
+    bits_for:
+        Alternative per-parameter policy: maps a parameter's dotted name
+        to a bit width, or ``None`` to leave that parameter in float
+        (used by the Fig. 2a per-layer-group schemes).
+
+    The original float weights are restored on exit.
+    """
+    if (bits is None) == (bits_for is None):
+        raise ValueError("pass exactly one of `bits` or `bits_for`")
+    policy = (lambda _name: bits) if bits_for is None else bits_for
+    backups: list[tuple[object, np.ndarray]] = []
+    try:
+        for name, p in model.named_parameters():
+            b = policy(name)
+            if b is None:
+                continue
+            backups.append((p, p.data.copy()))
+            p.data = quantize_fixed(p.data, b)
+        yield model
+    finally:
+        for p, original in backups:
+            p.data = original
+
+
+@contextmanager
+def feature_map_quantization(bits: int) -> Iterator[None]:
+    """Quantize every activation output to ``bits``-bit fixed point."""
+    set_fm_hook(lambda a: quantize_fixed(a, bits))
+    try:
+        yield
+    finally:
+        set_fm_hook(None)
+
+
+@contextmanager
+def quantized_inference(
+    model: Module, w_bits: int | None, fm_bits: int | None
+) -> Iterator[Module]:
+    """Combined weight + feature-map quantization context.
+
+    Pass ``None`` for either width to leave that side in float32 —
+    scheme 0 of Table 7 is ``quantized_inference(m, None, None)``.
+    """
+    if w_bits is None and fm_bits is None:
+        yield model
+        return
+    if w_bits is not None and fm_bits is not None:
+        with weight_quantization(model, w_bits), feature_map_quantization(fm_bits):
+            yield model
+    elif w_bits is not None:
+        with weight_quantization(model, w_bits):
+            yield model
+    else:
+        with feature_map_quantization(fm_bits):
+            yield model
+
+
+class QuantScheme:
+    """A named (feature-map bits, weight bits) pair, as in Table 7."""
+
+    def __init__(self, index: int, fm_bits: int | None, w_bits: int | None):
+        self.index = index
+        self.fm_bits = fm_bits
+        self.w_bits = w_bits
+
+    def __repr__(self) -> str:  # pragma: no cover
+        fm = "Float32" if self.fm_bits is None else f"{self.fm_bits} bits"
+        w = "Float32" if self.w_bits is None else f"{self.w_bits} bits"
+        return f"QuantScheme({self.index}: FM={fm}, W={w})"
+
+    @property
+    def label(self) -> tuple[str, str]:
+        fm = "Float32" if self.fm_bits is None else f"{self.fm_bits} bits"
+        w = "Float32" if self.w_bits is None else f"{self.w_bits} bits"
+        return fm, w
+
+
+# Table 7 of the paper: the schemes explored for the Ultra96 deployment.
+TABLE7_SCHEMES: tuple[QuantScheme, ...] = (
+    QuantScheme(0, None, None),
+    QuantScheme(1, 9, 11),
+    QuantScheme(2, 9, 10),
+    QuantScheme(3, 8, 11),
+    QuantScheme(4, 8, 10),
+)
+
+
+def param_megabytes(num_params: int, bits: float = 32.0) -> float:
+    """Model size in MB at a given weight precision."""
+    return num_params * bits / 8.0 / 1e6
+
+
+def fm_megabytes(total_fm_elems: int, bits: float = 32.0) -> float:
+    """Total intermediate feature-map size in MB at a given precision."""
+    return total_fm_elems * bits / 8.0 / 1e6

@@ -1,0 +1,148 @@
+"""Device specifications for the embedded platforms in the paper.
+
+Peak numbers are the published figures the paper quotes (Section 6.4:
+"the peak performance provided by Ultra96 FPGA (144 GOPS @200MHz) is much
+lower than the TX2 GPU (665 GFLOPS @1300MHz)"); 1080Ti specs are public.
+Efficiency factors are calibrated once (see DESIGN.md §5) and shared by
+every network evaluated on a device, so cross-network comparisons are
+driven by network structure, not per-row fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "FpgaSpec", "TX2", "GTX_1080TI", "ULTRA96", "PYNQ_Z1",
+           "DEVICES"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An embedded or desktop GPU.
+
+    Attributes
+    ----------
+    peak_gflops:
+        fp32 peak throughput.
+    dram_gbps:
+        Memory bandwidth in GB/s.
+    freq_mhz:
+        Core clock.
+    kernel_overhead_us:
+        Fixed per-layer launch/dispatch overhead (cuDNN kernel launch).
+    eff_conv / eff_dwconv / eff_elementwise:
+        Achievable fraction of peak for dense convs, depthwise convs
+        (memory-bound, much lower), and elementwise kernels.
+    idle_w / peak_w:
+        Board power at idle and full load (for the energy model).
+    """
+
+    name: str
+    peak_gflops: float
+    dram_gbps: float
+    freq_mhz: float
+    kernel_overhead_us: float
+    eff_conv: float
+    eff_dwconv: float
+    eff_elementwise: float
+    idle_w: float
+    peak_w: float
+
+    @property
+    def kind(self) -> str:
+        return "gpu"
+
+
+@dataclass(frozen=True)
+class FpgaSpec:
+    """An embedded FPGA board.
+
+    Resource counts are the published device tables (Ultra96 = Zynq
+    UltraScale+ ZU3EG; Pynq-Z1 = Zynq-7020).
+    """
+
+    name: str
+    dsp: int
+    bram36: int          # number of 36 Kb block RAMs
+    lut: int
+    freq_mhz: float
+    dram_gbps: float
+    idle_w: float
+    peak_w: float
+
+    @property
+    def kind(self) -> str:
+        return "fpga"
+
+    @property
+    def peak_gops(self) -> float:
+        """2 ops (mul+add) per DSP per cycle at the design clock."""
+        return 2.0 * self.dsp * self.freq_mhz / 1e3
+
+
+# --------------------------------------------------------------------- #
+# GPU devices
+# --------------------------------------------------------------------- #
+# NVIDIA Jetson TX2: 256 Pascal cores, 665 GFLOPS fp32 @ 1.3 GHz,
+# 58.3 GB/s LPDDR4.  Efficiency factors calibrated per DESIGN.md §5.
+TX2 = GpuSpec(
+    name="Jetson TX2",
+    peak_gflops=665.0,
+    dram_gbps=58.3,
+    freq_mhz=1300.0,
+    kernel_overhead_us=45.0,
+    eff_conv=0.28,
+    eff_dwconv=0.03,
+    eff_elementwise=0.008,
+    idle_w=5.0,
+    peak_w=15.0,
+)
+
+# NVIDIA GTX 1080 Ti: 11.34 TFLOPS fp32, 484 GB/s GDDR5X.
+GTX_1080TI = GpuSpec(
+    name="GTX 1080Ti",
+    peak_gflops=11340.0,
+    dram_gbps=484.0,
+    freq_mhz=1582.0,
+    kernel_overhead_us=22.0,
+    eff_conv=0.38,
+    eff_dwconv=0.06,
+    eff_elementwise=0.05,
+    idle_w=55.0,
+    peak_w=250.0,
+)
+
+# --------------------------------------------------------------------- #
+# FPGA devices
+# --------------------------------------------------------------------- #
+# Avnet Ultra96 (Zynq UltraScale+ ZU3EG): 360 DSP48E2, 216 BRAM36,
+# 70,560 LUTs.  At 200 MHz: 2*360*0.2 = 144 GOPS, matching the paper.
+ULTRA96 = FpgaSpec(
+    name="Ultra96",
+    dsp=360,
+    bram36=216,
+    lut=70560,
+    freq_mhz=200.0,
+    dram_gbps=4.26,  # PS DDR4 shared with the ARM cores
+    idle_w=4.5,
+    peak_w=9.2,
+)
+
+# Digilent Pynq-Z1 (Zynq-7020): 220 DSP48E1, 140 BRAM36, 53,200 LUTs.
+PYNQ_Z1 = FpgaSpec(
+    name="Pynq-Z1",
+    dsp=220,
+    bram36=140,
+    lut=53200,
+    freq_mhz=143.0,
+    dram_gbps=2.1,
+    idle_w=1.8,
+    peak_w=4.5,
+)
+
+DEVICES = {
+    "tx2": TX2,
+    "1080ti": GTX_1080TI,
+    "ultra96": ULTRA96,
+    "pynq-z1": PYNQ_Z1,
+}

@@ -1,0 +1,31 @@
+"""``repro.nn`` — a compact NumPy deep-learning substrate.
+
+Provides reverse-mode autodiff (:class:`Tensor`), a layer library
+(convolutions, batch norm, pooling, reorg, ...), optimizers, and model
+serialization.  Every model in this reproduction — SkyNet itself, the
+baseline backbone zoo, and the Siamese trackers — is built on it.
+"""
+
+from . import functional, init, layers, optim
+from .gradcheck import gradcheck, numerical_gradient
+from .module import Module, ModuleList, Parameter, Sequential
+from .serialization import load_model, save_model
+from .tensor import Tensor, as_tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "functional",
+    "init",
+    "layers",
+    "optim",
+    "gradcheck",
+    "numerical_gradient",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,89 @@
+"""Numerical gradient checking for autograd primitives.
+
+The same central-difference machinery the test suite uses, exposed as a
+public utility so downstream users extending :mod:`repro.nn` with new
+ops can verify their backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    f: Callable[[], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``x`` in place."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        grad[idx] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-4,
+    eps: float = 1e-5,
+    raise_on_fail: bool = True,
+) -> bool:
+    """Verify ``fn``'s analytic gradients against numerical ones.
+
+    Parameters
+    ----------
+    fn:
+        Maps the input tensors to a single output tensor; the check
+        backpropagates from ``fn(*inputs).sum_of_squares`` (a generic
+        scalar that exercises all outputs).
+    inputs:
+        Tensors with ``requires_grad=True`` and float64 data (float32
+        has too little headroom for central differences).
+    atol:
+        Maximum tolerated absolute gradient error.
+
+    Returns ``True`` on success; raises (or returns ``False`` when
+    ``raise_on_fail`` is off) with the offending input index otherwise.
+    """
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            raise ValueError(f"input {i} does not require grad")
+        if t.data.dtype != np.float64:
+            raise ValueError(
+                f"input {i} must be float64 for reliable numerics"
+            )
+        t.grad = None
+
+    out = fn(*inputs)
+    (out * out).sum().backward()
+
+    def scalar() -> float:
+        detached = [t.detach() for t in inputs]
+        o = fn(*detached).data
+        return float((o * o).sum())
+
+    ok = True
+    for i, t in enumerate(inputs):
+        num = numerical_gradient(scalar, t.data, eps=eps)
+        err = float(np.abs(num - (t.grad if t.grad is not None else 0)).max())
+        if err > atol:
+            ok = False
+            if raise_on_fail:
+                raise AssertionError(
+                    f"gradcheck failed for input {i}: max error {err:.3e} "
+                    f"> atol {atol:.1e}"
+                )
+    return ok

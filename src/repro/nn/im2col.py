@@ -1,0 +1,67 @@
+"""im2col / col2im transformations used by the convolution primitives.
+
+These helpers express 2-D convolution as a single matrix multiplication,
+the standard approach for CPU implementations (vectorized, BLAS-backed).
+All arrays are NCHW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_out_size", "im2col", "col2im"]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, OH*OW).
+
+    Uses ``sliding_window_view`` so the unfold itself allocates no copies;
+    only the final reshape materializes the column matrix.
+    """
+    n, c, h, w = x.shape
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    # windows: (N, C, OH', OW', kh, kw) before striding
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # -> (N, C, kh, kw, OH, OW) -> (N, C*kh*kw, OH*OW)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold columns back into an image, accumulating overlapping windows.
+
+    Inverse (adjoint) of :func:`im2col`; used for convolution input
+    gradients.
+    """
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            out[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if pad > 0:
+        out = out[:, :, pad:-pad, pad:-pad]
+    return out

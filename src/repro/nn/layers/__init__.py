@@ -1,0 +1,39 @@
+"""Layer library for the ``repro.nn`` substrate."""
+
+from .activation import (
+    LeakyReLU,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+    Tanh,
+    make_activation,
+)
+from .conv import Conv2d, ConvTranspose2d, DWConv3x3, GroupedConv2d, PWConv1x1
+from .dropout import Dropout
+from .linear import Flatten, Linear
+from .norm import BatchNorm2d
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from .reorg import Reorg, UpsampleNearest
+
+__all__ = [
+    "Conv2d",
+    "ConvTranspose2d",
+    "Dropout",
+    "DWConv3x3",
+    "GroupedConv2d",
+    "PWConv1x1",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "make_activation",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Linear",
+    "Flatten",
+    "Reorg",
+    "UpsampleNearest",
+]

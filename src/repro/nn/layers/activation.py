@@ -1,0 +1,78 @@
+"""Activation layers.
+
+Activations are where intermediate feature maps materialize, so they are
+also the attachment point for feature-map fake-quantization (see
+:mod:`repro.nn.quant_hooks`): when a quantization context is active, each
+activation output is passed through the installed hook.
+"""
+
+from __future__ import annotations
+
+from ..module import Module
+from ..quant_hooks import apply_fm_hook, get_fm_hook
+from ..tensor import Tensor
+
+__all__ = ["ReLU", "ReLU6", "LeakyReLU", "Sigmoid", "Tanh", "make_activation"]
+
+
+def _hook(t: Tensor) -> Tensor:
+    if get_fm_hook() is None:
+        return t
+    return Tensor(apply_fm_hook(t.data))
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _hook(x.relu())
+
+
+class ReLU6(Module):
+    """ReLU clipped to [0, 6].
+
+    SkyNet's Stage-3 feature addition: the bounded output range means
+    intermediate feature maps need fewer bits on FPGAs and map well to
+    low-precision float on embedded GPUs (Sandler et al., 2018).
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _hook(x.relu6())
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.1) -> None:
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _hook(x.leaky_relu(self.slope))
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "relu6": ReLU6,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation layer by name (``'relu'``, ``'relu6'``...)."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,35 @@
+"""Dropout regularization (used by the AlexNet classifier head)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import default_rng
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active in train mode, identity in eval mode.
+
+    Kept elements are scaled by ``1 / (1 - p)`` so the expected
+    activation is unchanged and no rescaling is needed at inference.
+    """
+
+    def __init__(self, p: float = 0.5,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = default_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self._rng.uniform(size=x.shape) >= self.p).astype(
+            x.data.dtype
+        ) / (1.0 - self.p)
+        return x * Tensor(keep)

@@ -1,0 +1,53 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm2d"]
+
+
+class BatchNorm2d(Module):
+    """Batch normalization (Ioffe & Szegedy, 2015) over NCHW channels.
+
+    Keeps running mean/variance buffers used at evaluation time; these are
+    also what the FPGA deployment path folds into the preceding
+    convolution when quantizing.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32))
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(channels, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def fold_scale_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-channel (scale, shift) equivalent at inference time.
+
+        ``y = scale * x + shift`` reproduces this layer in eval mode; used
+        by the quantization pipeline to fold BN into conv weights.
+        """
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift

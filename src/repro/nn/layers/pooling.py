@@ -1,0 +1,38 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling; SkyNet uses 2x2/stride-2 instances between Bundles."""
+
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """(N, C, H, W) -> (N, C) spatial mean."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)

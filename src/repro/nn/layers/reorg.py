@@ -1,0 +1,37 @@
+"""Feature-map reordering (space-to-depth) layer — Fig. 5 of the paper."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Reorg", "UpsampleNearest"]
+
+
+class Reorg(Module):
+    """Rearrange (N, C, H, W) into (N, C*s*s, H/s, W/s) losslessly.
+
+    SkyNet uses this on the bypass path so low-level, high-resolution
+    features can be concatenated with post-pooling feature maps without
+    the information loss a pooling op would introduce, while also
+    enlarging the effective receptive field.
+    """
+
+    def __init__(self, stride: int = 2) -> None:
+        super().__init__()
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.reorg(x, self.stride)
+
+
+class UpsampleNearest(Module):
+    """Nearest-neighbour upsampling (used by the SiamMask mask head)."""
+
+    def __init__(self, scale: int = 2) -> None:
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest(x, self.scale)

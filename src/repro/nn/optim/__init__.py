@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedules."""
+
+from .adam import Adam
+from .lr_scheduler import CosineDecay, ExponentialDecay, StepDecay
+from .sgd import SGD
+
+__all__ = ["SGD", "Adam", "ExponentialDecay", "StepDecay", "CosineDecay"]

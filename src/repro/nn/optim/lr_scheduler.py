@@ -1,0 +1,73 @@
+"""Learning-rate schedules.
+
+The paper's training recipes anneal the learning rate geometrically:
+1e-4 → 1e-7 for detection (Section 6.1), 1e-3 → 1e-5 for SiamRPN++
+(Section 7.1) and 1e-3 → 1e-4 for SiamMask (Section 7.2).
+:class:`ExponentialDecay` reproduces exactly that kind of schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ExponentialDecay", "StepDecay", "CosineDecay"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer, total_steps: int) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.step_count = 0
+        self.base_lr = optimizer.lr
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; set and return the new learning rate."""
+        self.step_count = min(self.step_count + 1, self.total_steps)
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ExponentialDecay(_Scheduler):
+    """Geometric interpolation from the optimizer's lr down to ``final_lr``."""
+
+    def __init__(self, optimizer, total_steps: int, final_lr: float) -> None:
+        super().__init__(optimizer, total_steps)
+        if final_lr <= 0:
+            raise ValueError("final_lr must be positive")
+        self.final_lr = final_lr
+
+    def lr_at(self, step: int) -> float:
+        frac = step / self.total_steps
+        return self.base_lr * (self.final_lr / self.base_lr) ** frac
+
+
+class StepDecay(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer, total_steps: int, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer, total_steps)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineDecay(_Scheduler):
+    """Cosine annealing from base lr to ``min_lr``."""
+
+    def __init__(self, optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer, total_steps)
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        frac = step / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * frac)
+        )

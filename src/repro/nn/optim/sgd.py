@@ -1,0 +1,49 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+The paper trains SkyNet with SGD and a learning rate annealed from 1e-4
+down to 1e-7 (Section 6.1); pair this optimizer with
+:class:`repro.nn.optim.lr_scheduler.ExponentialDecay` to reproduce that
+schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Classic SGD: ``v = mu*v - lr*g``; ``p += v``."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v -= self.lr * g
+            p.data += v

@@ -1,0 +1,34 @@
+"""Hook point for feature-map quantization during inference.
+
+The FPGA deployment path quantizes intermediate feature maps to fixed
+point (Table 7).  Rather than building a parallel quantized executor,
+:mod:`repro.hardware.quantization` installs a hook here and the
+activation layers pass their outputs through it — the standard
+fake-quantization technique.  The hook is ``None`` outside an active
+quantization context, adding zero overhead to normal execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["set_fm_hook", "get_fm_hook", "apply_fm_hook"]
+
+_FM_HOOK: Callable[[np.ndarray], np.ndarray] | None = None
+
+
+def set_fm_hook(hook: Callable[[np.ndarray], np.ndarray] | None) -> None:
+    """Install (or clear, with ``None``) the feature-map hook."""
+    global _FM_HOOK
+    _FM_HOOK = hook
+
+
+def get_fm_hook() -> Callable[[np.ndarray], np.ndarray] | None:
+    return _FM_HOOK
+
+
+def apply_fm_hook(data: np.ndarray) -> np.ndarray:
+    """Run ``data`` through the hook if one is installed."""
+    return data if _FM_HOOK is None else _FM_HOOK(data)

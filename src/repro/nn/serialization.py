@@ -1,0 +1,26 @@
+"""Model checkpointing to ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str) -> None:
+    """Write a model's full state dict (parameters + buffers) to ``path``."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load a state dict saved with :func:`save_model` into ``model``."""
+    with np.load(path) as data:
+        model.load_state_dict({k: data[k] for k in data.files})
+    return model

@@ -1,0 +1,96 @@
+"""Anchor grids for the Siamese RPN head.
+
+Anchors live in *search-crop* coordinates (the crop is the unit square).
+With the default contexts the target occupies roughly 1/SEARCH_CONTEXT
+of the crop, so anchor sizes are ratio variations around that base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .siamese import SEARCH_CONTEXT
+
+__all__ = ["RpnAnchors"]
+
+
+class RpnAnchors:
+    """Anchor boxes for an R x R response grid.
+
+    Parameters
+    ----------
+    response:
+        Response-map side length R.
+    ratios:
+        Width/height aspect ratios, one anchor per ratio per cell.
+    feat_stride_frac:
+        Grid spacing as a fraction of the search crop (backbone stride /
+        search size).
+    base_size:
+        Anchor scale relative to the crop; defaults to the expected
+        target size 1/SEARCH_CONTEXT.
+    """
+
+    def __init__(
+        self,
+        response: int,
+        ratios: tuple[float, ...] = (0.5, 1.0, 2.0),
+        feat_stride_frac: float = 8 / 64,
+        base_size: float | None = None,
+    ) -> None:
+        if response < 1:
+            raise ValueError("response grid must be positive")
+        self.response = response
+        self.ratios = tuple(ratios)
+        self.n_anchors = len(ratios)
+        base = 1.0 / SEARCH_CONTEXT if base_size is None else base_size
+
+        # cell centers in crop coordinates (centered grid)
+        offsets = (np.arange(response) - (response - 1) / 2) * feat_stride_frac
+        cx = 0.5 + offsets[None, :]  # (1, R)
+        cy = 0.5 + offsets[:, None]  # (R, 1)
+
+        # (A, R, R, 4) cxcywh anchors
+        boxes = np.empty((self.n_anchors, response, response, 4))
+        for a, r in enumerate(self.ratios):
+            w = base * np.sqrt(r)
+            h = base / np.sqrt(r)
+            boxes[a, ..., 0] = cx
+            boxes[a, ..., 1] = cy
+            boxes[a, ..., 2] = w
+            boxes[a, ..., 3] = h
+        self.boxes = boxes
+
+    def decode(self, loc: np.ndarray) -> np.ndarray:
+        """Decode (N, 4A, R, R) regression output to cxcywh boxes.
+
+        Returns (N, A, R, R, 4) boxes in crop coordinates.
+        """
+        n = loc.shape[0]
+        r = self.response
+        loc = loc.reshape(n, self.n_anchors, 4, r, r).transpose(0, 1, 3, 4, 2)
+        anchors = self.boxes[None]  # (1, A, R, R, 4)
+        out = np.empty_like(loc)
+        out[..., 0] = anchors[..., 0] + loc[..., 0] * anchors[..., 2]
+        out[..., 1] = anchors[..., 1] + loc[..., 1] * anchors[..., 3]
+        out[..., 2] = anchors[..., 2] * np.exp(np.clip(loc[..., 2], -6, 6))
+        out[..., 3] = anchors[..., 3] * np.exp(np.clip(loc[..., 3], -6, 6))
+        return out
+
+    def encode(self, gt: np.ndarray) -> np.ndarray:
+        """Regression targets (A, R, R, 4) for one cxcywh GT box."""
+        a = self.boxes
+        t = np.empty_like(a)
+        t[..., 0] = (gt[0] - a[..., 0]) / a[..., 2]
+        t[..., 1] = (gt[1] - a[..., 1]) / a[..., 3]
+        t[..., 2] = np.log(max(gt[2], 1e-6) / a[..., 2])
+        t[..., 3] = np.log(max(gt[3], 1e-6) / a[..., 3])
+        return t
+
+    def iou_with(self, gt: np.ndarray) -> np.ndarray:
+        """IoU of every anchor with one cxcywh GT box: (A, R, R)."""
+        from ..detection.boxes import box_iou, cxcywh_to_xyxy
+
+        return box_iou(
+            cxcywh_to_xyxy(self.boxes), cxcywh_to_xyxy(np.asarray(gt))
+        )

@@ -1,0 +1,86 @@
+"""GOT-10K evaluation metrics (Section 7).
+
+"Average overlap is defined as the mean of intersection over union (IoU)
+between prediction and ground truth bounding boxes, while success rate
+is defined as the proportion of predictions where the IoU is beyond some
+threshold."  Tables 8/9 report AO, SR@0.50 and SR@0.75.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..detection.boxes import box_iou, cxcywh_to_xyxy
+
+__all__ = ["average_overlap", "success_rate", "sequence_ious", "TrackingScores",
+           "score_tracking", "success_curve"]
+
+
+def sequence_ious(pred_cxcywh: np.ndarray, gt_cxcywh: np.ndarray) -> np.ndarray:
+    """Per-frame IoUs for one sequence ((T, 4) arrays)."""
+    return box_iou(cxcywh_to_xyxy(pred_cxcywh), cxcywh_to_xyxy(gt_cxcywh))
+
+
+def average_overlap(ious: np.ndarray) -> float:
+    """AO: mean IoU over all evaluated frames."""
+    ious = np.asarray(ious, dtype=np.float64)
+    if ious.size == 0:
+        raise ValueError("no IoUs to average")
+    return float(ious.mean())
+
+
+def success_rate(ious: np.ndarray, threshold: float) -> float:
+    """SR@threshold: fraction of frames with IoU above the threshold."""
+    ious = np.asarray(ious, dtype=np.float64)
+    if ious.size == 0:
+        raise ValueError("no IoUs")
+    return float((ious > threshold).mean())
+
+
+class TrackingScores:
+    """AO / SR@0.50 / SR@0.75 bundle, as Tables 8/9 report."""
+
+    def __init__(self, ious: np.ndarray) -> None:
+        self.ious = np.asarray(ious, dtype=np.float64)
+        self.ao = average_overlap(self.ious)
+        self.sr50 = success_rate(self.ious, 0.50)
+        self.sr75 = success_rate(self.ious, 0.75)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TrackingScores(AO={self.ao:.3f}, SR0.50={self.sr50:.3f}, "
+            f"SR0.75={self.sr75:.3f})"
+        )
+
+
+def success_curve(
+    ious: np.ndarray, thresholds: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """GOT-10K success plot: SR over an overlap-threshold sweep.
+
+    Returns (thresholds, success rates); the area under this curve
+    equals AO in the limit of a dense sweep.
+    """
+    ious = np.asarray(ious, dtype=np.float64)
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 21)
+    rates = np.array([(ious > t).mean() for t in thresholds])
+    return thresholds, rates
+
+
+def score_tracking(
+    all_pred: list[np.ndarray], all_gt: list[np.ndarray]
+) -> TrackingScores:
+    """Score a whole dataset (list of per-sequence (T, 4) box arrays).
+
+    The first frame of each sequence is the initialization frame and is
+    excluded, following the GOT-10K protocol.
+    """
+    if len(all_pred) != len(all_gt):
+        raise ValueError("prediction/gt sequence counts differ")
+    ious = []
+    for pred, gt in zip(all_pred, all_gt):
+        if len(pred) != len(gt):
+            raise ValueError("sequence length mismatch")
+        ious.append(sequence_ious(pred[1:], gt[1:]))
+    return TrackingScores(np.concatenate(ious))

@@ -1,0 +1,123 @@
+"""GOT-10K-toolkit-style experiment protocol.
+
+The real GOT-10K benchmark works through "an open responsive evaluation
+server" (Section 7): trackers dump per-sequence prediction files which
+are scored centrally.  This module mirrors that workflow locally: run a
+tracker over a dataset, persist the raw predictions per sequence, then
+score the saved results — so experiments can be re-scored without
+re-running the tracker, and different trackers' dumps can be compared
+after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.got10k import TrackingDataset
+from .evaluator import run_tracker
+from .metrics import TrackingScores, score_tracking, success_curve
+
+__all__ = ["ExperimentResult", "run_experiment", "score_experiment",
+           "load_predictions"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A scored tracking experiment."""
+
+    tracker_name: str
+    scores: TrackingScores
+    n_sequences: int
+    n_frames: int
+
+    def summary(self) -> dict:
+        return {
+            "tracker": self.tracker_name,
+            "AO": round(self.scores.ao, 4),
+            "SR0.50": round(self.scores.sr50, 4),
+            "SR0.75": round(self.scores.sr75, 4),
+            "sequences": self.n_sequences,
+            "frames": self.n_frames,
+        }
+
+
+def _result_dir(out_dir: str, tracker_name: str) -> str:
+    return os.path.join(out_dir, tracker_name)
+
+
+def run_experiment(
+    tracker,
+    dataset: TrackingDataset,
+    out_dir: str,
+    tracker_name: str = "tracker",
+) -> str:
+    """Run ``tracker`` over ``dataset`` and dump per-sequence predictions.
+
+    Each sequence produces ``<out_dir>/<tracker_name>/<seq>.txt`` with
+    one ``cx,cy,w,h`` line per frame (the GOT-10K submission format,
+    normalized coordinates).  Returns the result directory.
+    """
+    result_dir = _result_dir(out_dir, tracker_name)
+    os.makedirs(result_dir, exist_ok=True)
+    predictions = run_tracker(tracker, dataset)
+    for seq, pred in zip(dataset, predictions):
+        path = os.path.join(result_dir, f"{seq.name or 'seq'}.txt")
+        np.savetxt(path, pred, fmt="%.6f", delimiter=",")
+    return result_dir
+
+
+def load_predictions(
+    dataset: TrackingDataset, result_dir: str
+) -> list[np.ndarray]:
+    """Load the per-sequence predictions dumped by :func:`run_experiment`."""
+    preds = []
+    for seq in dataset:
+        path = os.path.join(result_dir, f"{seq.name or 'seq'}.txt")
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"no predictions for sequence {seq.name!r} in {result_dir}"
+            )
+        arr = np.loadtxt(path, delimiter=",").reshape(-1, 4)
+        if len(arr) != len(seq):
+            raise ValueError(
+                f"{path}: {len(arr)} predictions for a {len(seq)}-frame "
+                f"sequence"
+            )
+        preds.append(arr)
+    return preds
+
+
+def score_experiment(
+    dataset: TrackingDataset,
+    result_dir: str,
+    tracker_name: str | None = None,
+    write_report: bool = True,
+) -> ExperimentResult:
+    """Score a saved experiment (the evaluation-server role).
+
+    When ``write_report`` is set, a ``report.json`` with the summary and
+    the success curve is written next to the predictions.
+    """
+    preds = load_predictions(dataset, result_dir)
+    gt = [seq.boxes for seq in dataset]
+    scores = score_tracking(preds, gt)
+    result = ExperimentResult(
+        tracker_name=tracker_name or os.path.basename(result_dir.rstrip("/")),
+        scores=scores,
+        n_sequences=len(dataset),
+        n_frames=dataset.total_frames(),
+    )
+    if write_report:
+        thresholds, rates = success_curve(scores.ious)
+        report = dict(result.summary())
+        report["success_curve"] = {
+            "thresholds": thresholds.tolist(),
+            "rates": rates.tolist(),
+        }
+        with open(os.path.join(result_dir, "report.json"), "w") as fh:
+            json.dump(report, fh, indent=2)
+    return result

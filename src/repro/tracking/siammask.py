@@ -1,0 +1,165 @@
+"""SiamMask-style tracker (Wang et al., 2019) — Table 9.
+
+SiamMask augments the Siamese RPN with a segmentation branch: the
+correlation features additionally predict a binary object mask, which
+sharpens localization ("SiamMask ... outperforms SiamRPN++ under the
+same configuration").  Training requires mask supervision, so the paper
+uses YouTube-VOS; we use its synthetic stand-in
+(:func:`repro.datasets.youtubevos.make_youtubevos`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.layers import BatchNorm2d, Conv2d, PWConv1x1, ReLU, UpsampleNearest
+from ..nn.module import Module
+from ..utils.rng import default_rng, spawn
+from .siamese import xcorr_depthwise
+from .siamrpn import SEARCH_SIZE, SiamRPN, SiamRPNTracker
+
+__all__ = ["SiamMask", "SiamMaskTracker", "MASK_SIZE", "mask_to_box"]
+
+# Predicted mask resolution (square), covering the whole search crop.
+MASK_SIZE = 16
+
+
+class _MaskHead(Module):
+    """Correlation features -> full-crop mask logits.
+
+    conv3x3 -> upsample x2 -> conv3x3 -> 1x1, then bilinear-free nearest
+    upsampling handles the rest of the scale gap.
+    """
+
+    def __init__(self, feat_ch: int, response: int, rng) -> None:
+        super().__init__()
+        self.conv_z = PWConv1x1(feat_ch, feat_ch, rng=rng)
+        self.conv_x = PWConv1x1(feat_ch, feat_ch, rng=rng)
+        self.corr_bn = BatchNorm2d(feat_ch)
+        self.refine1 = Conv2d(feat_ch, feat_ch, 3, rng=rng)
+        self.bn1 = BatchNorm2d(feat_ch)
+        self.up = UpsampleNearest(2)
+        self.refine2 = Conv2d(feat_ch, feat_ch // 2, 3, rng=rng)
+        self.out = PWConv1x1(feat_ch // 2, 1, bias=True, rng=rng)
+        self.relu = ReLU()
+        self.response = response
+        # upsample factor needed to reach MASK_SIZE from the response map
+        self._extra_up = max(1, MASK_SIZE // (response * 2))
+        self.extra = UpsampleNearest(self._extra_up)
+
+    def forward(self, zf: Tensor, xf: Tensor) -> Tensor:
+        corr = self.corr_bn(xcorr_depthwise(self.conv_x(xf), self.conv_z(zf)))
+        y = self.relu(self.bn1(self.refine1(corr)))
+        y = self.up(y)
+        y = self.relu(self.refine2(y))
+        y = self.out(y)
+        if self._extra_up > 1:
+            y = self.extra(y)
+        return y  # (N, 1, ~MASK_SIZE, ~MASK_SIZE) logits
+
+
+class SiamMask(SiamRPN):
+    """SiamRPN plus a mask branch sharing the Siamese features."""
+
+    def __init__(
+        self,
+        backbone: Module,
+        feat_ch: int = 32,
+        ratios: tuple[float, ...] = (0.5, 1.0, 2.0),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = default_rng(rng)
+        super().__init__(backbone, feat_ch=feat_ch, ratios=ratios, rng=rng)
+        self.mask_head = _MaskHead(feat_ch, self.response, spawn(rng))
+
+    def forward_with_mask(
+        self, z_img: Tensor, x_img: Tensor
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """(cls, loc, mask logits) for a training pair."""
+        zf = self.extract(z_img)
+        xf = self.extract(x_img)
+        return (
+            self.cls_branch(zf, xf),
+            self.loc_branch(zf, xf),
+            self.mask_head(zf, xf),
+        )
+
+
+def mask_to_box(mask_prob: np.ndarray, threshold: float = 0.5
+                ) -> np.ndarray | None:
+    """Tight cxcywh box (in crop coords) around a thresholded mask.
+
+    Returns ``None`` when the mask is empty at the threshold.
+    """
+    m = mask_prob >= threshold
+    if not m.any():
+        return None
+    ys, xs = np.nonzero(m)
+    h, w = mask_prob.shape
+    x1, x2 = xs.min() / w, (xs.max() + 1) / w
+    y1, y2 = ys.min() / h, (ys.max() + 1) / h
+    return np.array([(x1 + x2) / 2, (y1 + y2) / 2, x2 - x1, y2 - y1])
+
+
+class SiamMaskTracker(SiamRPNTracker):
+    """Online tracker: RPN proposes, the mask branch refines the box.
+
+    The final box blends the RPN regression with the mask's tight box
+    (``mask_weight``), reproducing SiamMask's sharper localization.
+    """
+
+    def __init__(
+        self,
+        model: SiamMask,
+        window_influence: float = 0.30,
+        size_lr: float = 0.35,
+        mask_weight: float = 0.5,
+    ) -> None:
+        super().__init__(model, window_influence, size_lr)
+        self.mask_weight = mask_weight
+
+    def track(self, frame: np.ndarray) -> np.ndarray:
+        from .siamese import SEARCH_CONTEXT, crop_and_resize
+
+        if self._zf is None:
+            raise RuntimeError("call init() before track()")
+        w, h = self.size
+        side = SEARCH_CONTEXT * float(np.sqrt(max(w * h, 1e-8)))
+        crop, (x0, y0, s) = crop_and_resize(
+            frame, self.center, side, SEARCH_SIZE
+        )
+        model: SiamMask = self.model  # type: ignore[assignment]
+        with no_grad():
+            xf = model.extract(Tensor(crop[None]))
+            cls = model.cls_branch(self._zf, xf).data
+            loc = model.loc_branch(self._zf, xf).data
+            mask_logits = model.mask_head(self._zf, xf).data
+
+        n_anchors = model.n_anchors
+        r = model.response
+        score = 1.0 / (1.0 + np.exp(-cls.reshape(n_anchors, r, r)))
+        score = (1 - self.window_influence) * score + (
+            self.window_influence * self.window[None]
+        )
+        boxes = model.anchors.decode(loc)[0]
+        a, i, j = np.unravel_index(score.argmax(), score.shape)
+        rpn_box = boxes[a, i, j]
+
+        mask_prob = 1.0 / (1.0 + np.exp(-mask_logits[0, 0]))
+        mbox = mask_to_box(mask_prob)
+        if mbox is not None:
+            mw = self.mask_weight
+            box = (1 - mw) * rpn_box + mw * mbox
+        else:
+            box = rpn_box
+
+        bcx, bcy, bw, bh = box
+        cx = float(np.clip(x0 + bcx * s, 0.0, 1.0))
+        cy = float(np.clip(y0 + bcy * s, 0.0, 1.0))
+        lr = self.size_lr
+        w = (1 - lr) * self.size[0] + lr * bw * s
+        h = (1 - lr) * self.size[1] + lr * bh * s
+        self.center = (cx, cy)
+        self.size = (float(np.clip(w, 0.01, 1.0)), float(np.clip(h, 0.01, 1.0)))
+        return np.array([cx, cy, self.size[0], self.size[1]])

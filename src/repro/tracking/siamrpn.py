@@ -1,0 +1,180 @@
+"""SiamRPN++-style Siamese tracker (Li et al., 2019a) — Table 8.
+
+The tracker correlates exemplar and search features with depthwise
+cross-correlation, then predicts per-anchor classification scores and
+box refinements (the region-proposal head).  SiamRPN++ is "the first
+Siamese tracker that has been proven to profit from backbones with
+different capacities as long as they are properly trained" — exactly the
+property Table 8 exploits by swapping AlexNet / ResNet-50 / SkyNet
+behind the same head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.layers import BatchNorm2d, Conv2d, PWConv1x1, ReLU
+from ..nn.module import Module
+from ..utils.rng import default_rng, spawn
+from .anchors import RpnAnchors
+from .siamese import (
+    EXEMPLAR_CONTEXT,
+    SEARCH_CONTEXT,
+    AdjustLayer,
+    crop_and_resize,
+    xcorr_depthwise,
+)
+
+__all__ = ["SiamRPN", "SiamRPNTracker", "EXEMPLAR_SIZE", "SEARCH_SIZE"]
+
+# Miniature analogues of the paper's 127/255 exemplar/search resolution
+# (Section 7.1 trains SkyNet at 128/256); scaled to the synthetic data.
+EXEMPLAR_SIZE = 32
+SEARCH_SIZE = 64
+
+
+class _RpnBranch(Module):
+    """One head branch (cls or loc): z/x transforms + xcorr + predictor.
+
+    A BatchNorm after the correlation keeps the response magnitude
+    bounded — raw depthwise xcorr sums hundreds of products and would
+    otherwise saturate the losses (SiamRPN++ normalizes here too).
+    """
+
+    def __init__(self, feat_ch: int, out_ch: int, rng) -> None:
+        super().__init__()
+        self.conv_z = PWConv1x1(feat_ch, feat_ch, rng=rng)
+        self.conv_x = PWConv1x1(feat_ch, feat_ch, rng=rng)
+        self.corr_bn = BatchNorm2d(feat_ch)
+        self.head = Conv2d(feat_ch, feat_ch, 3, rng=rng)
+        self.head_bn = BatchNorm2d(feat_ch)
+        self.relu = ReLU()
+        self.out = PWConv1x1(feat_ch, out_ch, bias=True, rng=rng)
+
+    def forward(self, zf: Tensor, xf: Tensor) -> Tensor:
+        corr = self.corr_bn(xcorr_depthwise(self.conv_x(xf), self.conv_z(zf)))
+        return self.out(self.relu(self.head_bn(self.head(corr))))
+
+
+class SiamRPN(Module):
+    """Siamese RPN network: shared backbone + adjust + two branches.
+
+    Parameters
+    ----------
+    backbone:
+        Feature extractor (any zoo backbone or SkyNet); its stride sets
+        the response-map size.
+    feat_ch:
+        Tracker-internal channel width after the adjust layer.
+    ratios:
+        Anchor aspect ratios (one anchor per ratio per cell).
+    """
+
+    def __init__(
+        self,
+        backbone: Module,
+        feat_ch: int = 32,
+        ratios: tuple[float, ...] = (0.5, 1.0, 2.0),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = default_rng(rng)
+        self.backbone = backbone
+        self.adjust = AdjustLayer(backbone.out_channels, feat_ch, rng=spawn(rng))
+        self.n_anchors = len(ratios)
+        self.cls_branch = _RpnBranch(feat_ch, self.n_anchors, spawn(rng))
+        self.loc_branch = _RpnBranch(feat_ch, 4 * self.n_anchors, spawn(rng))
+
+        stride = getattr(backbone, "stride", 8)
+        zf_size = EXEMPLAR_SIZE // stride
+        xf_size = SEARCH_SIZE // stride
+        self.response = xf_size - zf_size + 1
+        self.anchors = RpnAnchors(
+            self.response, ratios, feat_stride_frac=stride / SEARCH_SIZE
+        )
+
+    def extract(self, images: Tensor) -> Tensor:
+        return self.adjust(self.backbone(images))
+
+    def forward(self, z_img: Tensor, x_img: Tensor) -> tuple[Tensor, Tensor]:
+        """Joint forward: (cls logits (N, A, R, R), loc (N, 4A, R, R))."""
+        zf = self.extract(z_img)
+        xf = self.extract(x_img)
+        return self.cls_branch(zf, xf), self.loc_branch(zf, xf)
+
+
+class SiamRPNTracker:
+    """Online tracker wrapping a trained :class:`SiamRPN`.
+
+    Implements the standard SiamRPN inference loop: template once, then
+    per frame crop the search window at the previous position, score
+    anchors (with a cosine-window motion prior), decode the best box,
+    and smooth the size update.
+    """
+
+    def __init__(
+        self,
+        model: SiamRPN,
+        window_influence: float = 0.30,
+        size_lr: float = 0.35,
+    ) -> None:
+        self.model = model
+        self.window_influence = window_influence
+        self.size_lr = size_lr
+        r = model.response
+        hann = np.hanning(r + 2)[1:-1]
+        self.window = np.outer(hann, hann)
+        self.window /= self.window.sum()
+        self._zf: Tensor | None = None
+        self.center = (0.5, 0.5)
+        self.size = (0.1, 0.1)
+
+    # ------------------------------------------------------------------ #
+    def init(self, frame: np.ndarray, box_cxcywh: np.ndarray) -> None:
+        """Set the exemplar from the first frame's ground-truth box."""
+        cx, cy, w, h = [float(v) for v in box_cxcywh]
+        self.center, self.size = (cx, cy), (w, h)
+        side = EXEMPLAR_CONTEXT * float(np.sqrt(w * h))
+        crop, _ = crop_and_resize(frame, self.center, side, EXEMPLAR_SIZE)
+        self.model.eval()
+        with no_grad():
+            self._zf = self.model.extract(Tensor(crop[None]))
+
+    def track(self, frame: np.ndarray) -> np.ndarray:
+        """Process one frame; returns the cxcywh box in image coords."""
+        if self._zf is None:
+            raise RuntimeError("call init() before track()")
+        w, h = self.size
+        side = SEARCH_CONTEXT * float(np.sqrt(max(w * h, 1e-8)))
+        crop, (x0, y0, s) = crop_and_resize(
+            frame, self.center, side, SEARCH_SIZE
+        )
+        with no_grad():
+            xf = self.model.extract(Tensor(crop[None]))
+            cls = self.model.cls_branch(self._zf, xf).data
+            loc = self.model.loc_branch(self._zf, xf).data
+
+        n_anchors = self.model.n_anchors
+        r = self.model.response
+        score = 1.0 / (1.0 + np.exp(-cls.reshape(n_anchors, r, r)))
+        score = (1 - self.window_influence) * score + (
+            self.window_influence * self.window[None]
+        )
+        boxes = self.model.anchors.decode(loc)[0]  # (A, R, R, 4) crop coords
+        a, i, j = np.unravel_index(score.argmax(), score.shape)
+        bcx, bcy, bw, bh = boxes[a, i, j]
+
+        # map from crop coords back to image coords
+        cx = x0 + bcx * s
+        cy = y0 + bcy * s
+        new_w = bw * s
+        new_h = bh * s
+        lr = self.size_lr
+        w = (1 - lr) * self.size[0] + lr * new_w
+        h = (1 - lr) * self.size[1] + lr * new_h
+        cx = float(np.clip(cx, 0.0, 1.0))
+        cy = float(np.clip(cy, 0.0, 1.0))
+        self.center = (cx, cy)
+        self.size = (float(np.clip(w, 0.01, 1.0)), float(np.clip(h, 0.01, 1.0)))
+        return np.array([cx, cy, self.size[0], self.size[1]])

@@ -1,0 +1,218 @@
+"""Training for Siamese trackers on synthetic sequences.
+
+Pairs (exemplar, search) are sampled from the same sequence with a
+random frame gap; the exemplar is cropped around its ground-truth box,
+the search around a jittered position (so the target is off-center, as
+at tracking time).  Losses: BCE over anchors for classification,
+smooth-L1 on positive anchors for regression, and (for SiamMask) BCE on
+the predicted mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.augment import resize_bilinear
+from ..datasets.got10k import TrackingDataset
+from ..nn import Tensor
+from ..nn import functional as F
+from ..nn.optim import Adam
+from ..utils.rng import default_rng
+from .siamese import EXEMPLAR_CONTEXT, SEARCH_CONTEXT, crop_and_resize
+from .siamrpn import EXEMPLAR_SIZE, SEARCH_SIZE, SiamRPN
+from .siammask import MASK_SIZE, SiamMask
+
+__all__ = ["PairBatch", "sample_pairs", "SiameseTrainer", "TrackTrainConfig"]
+
+
+@dataclass
+class PairBatch:
+    """One training batch of exemplar/search pairs."""
+
+    exemplars: np.ndarray  # (N, 3, E, E)
+    searches: np.ndarray  # (N, 3, S, S)
+    gt_boxes: np.ndarray  # (N, 4) cxcywh in search-crop coords
+    gt_masks: np.ndarray | None = None  # (N, M, M) float in crop coords
+
+
+def _crop_mask(
+    mask: np.ndarray, frame: tuple[float, float, float], out_size: int
+) -> np.ndarray:
+    """Crop + resize a boolean mask with the same window as the image."""
+    h, w = mask.shape
+    x0, y0, side = frame
+    px0, py0 = int(round(x0 * w)), int(round(y0 * h))
+    ps_w, ps_h = max(2, int(round(side * w))), max(2, int(round(side * h)))
+    canvas = np.zeros((ps_h, ps_w), dtype=np.float32)
+    sx0, sy0 = max(0, px0), max(0, py0)
+    sx1, sy1 = min(w, px0 + ps_w), min(h, py0 + ps_h)
+    if sx1 > sx0 and sy1 > sy0:
+        canvas[sy0 - py0 : sy1 - py0, sx0 - px0 : sx1 - px0] = mask[
+            sy0:sy1, sx0:sx1
+        ]
+    out = resize_bilinear(canvas[None, None], (out_size, out_size))[0, 0]
+    return (out > 0.5).astype(np.float32)
+
+
+def sample_pairs(
+    dataset: TrackingDataset,
+    n: int,
+    rng: np.random.Generator | None = None,
+    max_gap: int = 6,
+    jitter: float = 0.25,
+    with_masks: bool = False,
+) -> PairBatch:
+    """Draw ``n`` exemplar/search pairs from random sequences."""
+    rng = default_rng(rng)
+    ez = np.empty((n, 3, EXEMPLAR_SIZE, EXEMPLAR_SIZE), dtype=np.float32)
+    sx = np.empty((n, 3, SEARCH_SIZE, SEARCH_SIZE), dtype=np.float32)
+    gts = np.empty((n, 4))
+    masks = np.empty((n, MASK_SIZE, MASK_SIZE), dtype=np.float32) if with_masks \
+        else None
+    for i in range(n):
+        seq = dataset[int(rng.integers(len(dataset)))]
+        t0 = int(rng.integers(len(seq)))
+        t1 = int(np.clip(t0 + rng.integers(-max_gap, max_gap + 1), 0,
+                         len(seq) - 1))
+        zbox = seq.boxes[t0]
+        xbox = seq.boxes[t1]
+
+        zside = EXEMPLAR_CONTEXT * float(np.sqrt(zbox[2] * zbox[3]))
+        ez[i], _ = crop_and_resize(
+            seq.frames[t0], (zbox[0], zbox[1]), zside, EXEMPLAR_SIZE
+        )
+
+        sside = SEARCH_CONTEXT * float(np.sqrt(xbox[2] * xbox[3]))
+        off = rng.uniform(-jitter, jitter, size=2) * sside
+        center = (xbox[0] + off[0], xbox[1] + off[1])
+        sx[i], frame = crop_and_resize(
+            seq.frames[t1], center, sside, SEARCH_SIZE
+        )
+        x0, y0, s = frame
+        gts[i] = [
+            (xbox[0] - x0) / s,
+            (xbox[1] - y0) / s,
+            xbox[2] / s,
+            xbox[3] / s,
+        ]
+        if with_masks:
+            if seq.masks is None:
+                raise ValueError("dataset has no masks; use make_youtubevos")
+            masks[i] = _crop_mask(seq.masks[t1], frame, MASK_SIZE)
+    return PairBatch(ez, sx, gts, masks)
+
+
+@dataclass(frozen=True)
+class TrackTrainConfig:
+    """Budget and loss weights for Siamese training."""
+
+    steps: int = 60
+    batch_size: int = 8
+    lr: float = 1e-3
+    pos_iou: float = 0.5
+    neg_iou: float = 0.3
+    loc_weight: float = 1.0
+    mask_weight: float = 1.0
+    seed: int = 0
+
+
+class SiameseTrainer:
+    """Train a :class:`SiamRPN` (or :class:`SiamMask`) on pairs."""
+
+    def __init__(self, model: SiamRPN, config: TrackTrainConfig | None = None):
+        self.model = model
+        self.config = config or TrackTrainConfig()
+        self.is_mask = isinstance(model, SiamMask)
+
+    # ------------------------------------------------------------------ #
+    def _anchor_targets(
+        self, gt_boxes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pair anchor labels and regression targets.
+
+        Returns (labels (N, A, R, R) in {1, 0, -1=ignore}, loc targets
+        (N, A, R, R, 4), positive mask).
+        """
+        cfg = self.config
+        anchors = self.model.anchors
+        n = len(gt_boxes)
+        a, r = anchors.n_anchors, anchors.response
+        labels = np.full((n, a, r, r), -1.0)
+        loc_t = np.zeros((n, a, r, r, 4))
+        for i, gt in enumerate(gt_boxes):
+            ious = anchors.iou_with(gt)
+            labels[i][ious < cfg.neg_iou] = 0.0
+            labels[i][ious >= cfg.pos_iou] = 1.0
+            best = np.unravel_index(ious.argmax(), ious.shape)
+            labels[i][best] = 1.0  # always at least one positive
+            loc_t[i] = anchors.encode(gt)
+        pos = labels == 1.0
+        return labels, loc_t, pos
+
+    def loss(self, batch: PairBatch) -> Tensor:
+        """Total loss for one batch (cls + loc [+ mask])."""
+        cfg = self.config
+        labels, loc_t, pos = self._anchor_targets(batch.gt_boxes)
+        n = len(batch.gt_boxes)
+        a, r = self.model.n_anchors, self.model.response
+
+        if self.is_mask:
+            cls, loc, mask_logits = self.model.forward_with_mask(
+                Tensor(batch.exemplars), Tensor(batch.searches)
+            )
+        else:
+            cls, loc = self.model(
+                Tensor(batch.exemplars), Tensor(batch.searches)
+            )
+            mask_logits = None
+
+        cls = cls.reshape(n, a, r, r)
+        valid = (labels >= 0).astype(np.float64)
+        target = np.clip(labels, 0.0, 1.0)
+        # weighted BCE over valid anchors
+        elem = cls.relu() - cls * Tensor(target) + (
+            ((-cls.abs()).exp() + 1.0).log()
+        )
+        cls_loss = (elem * Tensor(valid)).sum() * (1.0 / max(valid.sum(), 1.0))
+
+        loc_pred = loc.reshape(n, a, 4, r, r).transpose(0, 1, 3, 4, 2)
+        diff = loc_pred - Tensor(loc_t)
+        l1 = (diff * diff) * Tensor(pos[..., None].astype(np.float64))
+        loc_loss = l1.sum() * (1.0 / max(pos.sum() * 4, 1.0))
+
+        total = cls_loss + loc_loss * cfg.loc_weight
+        if mask_logits is not None and batch.gt_masks is not None:
+            mh = mask_logits.shape[-1]
+            gt_masks = batch.gt_masks
+            if gt_masks.shape[-1] != mh:
+                gt_masks = resize_bilinear(gt_masks[:, None], (mh, mh))[:, 0]
+            mask_loss = F.binary_cross_entropy_with_logits(
+                mask_logits.reshape(n, mh, mh), gt_masks
+            )
+            total = total + mask_loss * cfg.mask_weight
+        return total
+
+    def fit(
+        self,
+        dataset: TrackingDataset,
+        rng: np.random.Generator | None = None,
+    ) -> list[float]:
+        """Run the training loop; returns the per-step loss curve."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed) if rng is None else default_rng(rng)
+        opt = Adam(self.model.parameters(), lr=cfg.lr)
+        losses = []
+        self.model.train()
+        for _ in range(cfg.steps):
+            batch = sample_pairs(
+                dataset, cfg.batch_size, rng, with_masks=self.is_mask
+            )
+            loss = self.loss(batch)
+            self.model.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        self.model.eval()
+        return losses

@@ -1,0 +1,34 @@
+"""Deterministic random-number handling for the whole library.
+
+Everything stochastic in ``repro`` (weight init, synthetic data, search)
+draws from an explicit ``numpy.random.Generator``.  When no generator is
+passed, modules fall back to the process-wide generator below, which is
+seeded once so repeated runs of the same script are bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["default_rng", "seed_all", "spawn"]
+
+_GLOBAL_SEED = 0
+_GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def default_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Return ``rng`` if given, else the shared deterministic generator."""
+    return rng if rng is not None else _GLOBAL_RNG
+
+
+def seed_all(seed: int) -> None:
+    """Re-seed the shared generator (call at the top of an experiment)."""
+    global _GLOBAL_RNG, _GLOBAL_SEED
+    _GLOBAL_SEED = seed
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Derive an independent child generator (for parallel workloads)."""
+    base = default_rng(rng)
+    return np.random.default_rng(base.integers(0, 2**63 - 1))

@@ -1,0 +1,35 @@
+"""Baseline backbone zoo (Table 1 / Table 2 / Table 8 reference DNNs)."""
+
+from .alexnet import AlexNetBackbone, AlexNetClassifier, alexnet_backbone
+from .mobilenet import MobileNetBackbone, mobilenet
+from .registry import BACKBONES, backbone_names, build_backbone
+from .resnet import ResNetBackbone, resnet18, resnet34, resnet50
+from .shufflenet import ShuffleNetBackbone, channel_shuffle, shufflenet
+from .squeezenet import FireModule, SqueezeNetBackbone, squeezenet
+from .tinyyolo import TinyYoloBackbone, tinyyolo
+from .vgg import VGGBackbone, vgg16
+
+__all__ = [
+    "AlexNetBackbone",
+    "AlexNetClassifier",
+    "alexnet_backbone",
+    "MobileNetBackbone",
+    "mobilenet",
+    "ResNetBackbone",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "ShuffleNetBackbone",
+    "shufflenet",
+    "channel_shuffle",
+    "SqueezeNetBackbone",
+    "FireModule",
+    "squeezenet",
+    "TinyYoloBackbone",
+    "tinyyolo",
+    "VGGBackbone",
+    "vgg16",
+    "BACKBONES",
+    "build_backbone",
+    "backbone_names",
+]

@@ -1,0 +1,103 @@
+"""MobileNet-style backbone (Howard et al., 2017).
+
+Depthwise-separable chain; a DAC-SDC winning-entry ingredient (Table 1,
+iSmart2 = MobileNet + YOLO head).  Truncated at stride 8 for the shared
+detection back-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.descriptor import LayerDesc, NetDescriptor
+from ..nn import Tensor
+from ..nn.layers import BatchNorm2d, Conv2d, DWConv3x3, PWConv1x1, ReLU
+from ..nn.module import Module, ModuleList
+from ..utils.rng import default_rng
+
+__all__ = ["MobileNetBackbone", "mobilenet"]
+
+# (out_ch, stride) of each depthwise-separable block after the stem.
+_BLOCKS = (
+    (64, 1),
+    (128, 2),  # -> stride 4
+    (128, 1),
+    (256, 2),  # -> stride 8
+    (256, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+)
+
+
+class _DWSeparable(Module):
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng) -> None:
+        super().__init__()
+        self.dw = DWConv3x3(in_ch, stride=stride, rng=rng)
+        self.bn1 = BatchNorm2d(in_ch)
+        self.pw = PWConv1x1(in_ch, out_ch, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        self.relu = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(self.bn1(self.dw(x)))
+        return self.relu(self.bn2(self.pw(x)))
+
+
+class MobileNetBackbone(Module):
+    """MobileNet-v1-style trunk at stride 8."""
+
+    stride = 8
+
+    def __init__(
+        self,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = default_rng(rng)
+        self.width_mult = width_mult
+        self.in_channels = in_channels
+        stem_ch = max(4, int(round(32 * width_mult)))
+        self.stem = Conv2d(in_channels, stem_ch, 3, stride=2, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(stem_ch)
+        self.relu = ReLU()
+        self.blocks = ModuleList()
+        self._plan: list[tuple[int, int, int]] = []
+        cur = stem_ch
+        for ch, s in _BLOCKS:
+            out = max(4, int(round(ch * width_mult)))
+            self.blocks.append(_DWSeparable(cur, out, s, rng))
+            self._plan.append((cur, out, s))
+            cur = out
+        self.out_channels = cur
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(self.stem_bn(self.stem(x)))
+        for blk in self.blocks:
+            x = blk(x)
+        return x
+
+    def layer_descriptors(self, input_hw: tuple[int, int]) -> NetDescriptor:
+        h, w = input_hw
+        stem_ch = self._plan[0][0]
+        layers = [
+            LayerDesc("conv", self.in_channels, stem_ch, h, w, 3, 2, "stem"),
+        ]
+        h, w = (h + 1) // 2, (w + 1) // 2
+        layers.append(LayerDesc("bn", stem_ch, stem_ch, h, w, name="stem_bn"))
+        layers.append(LayerDesc("act", stem_ch, stem_ch, h, w, name="stem_relu"))
+        for i, (cin, cout, s) in enumerate(self._plan):
+            layers.append(LayerDesc("dwconv", cin, cin, h, w, 3, s, f"b{i}.dw"))
+            h, w = (h + s - 1) // s, (w + s - 1) // s
+            layers.append(LayerDesc("bn", cin, cin, h, w, name=f"b{i}.bn1"))
+            layers.append(LayerDesc("act", cin, cin, h, w, name=f"b{i}.relu1"))
+            layers.append(LayerDesc("pwconv", cin, cout, h, w, name=f"b{i}.pw"))
+            layers.append(LayerDesc("bn", cout, cout, h, w, name=f"b{i}.bn2"))
+            layers.append(LayerDesc("act", cout, cout, h, w, name=f"b{i}.relu2"))
+        return NetDescriptor(layers, name="MobileNet")
+
+
+def mobilenet(width_mult: float = 1.0, rng=None) -> MobileNetBackbone:
+    return MobileNetBackbone(width_mult, rng=rng)

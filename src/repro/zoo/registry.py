@@ -1,0 +1,85 @@
+"""Backbone registry: build any backbone by name.
+
+Used by the Table 2 bench ("same back-end, different backbone") and the
+tracking benches (Tables 8/9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.skynet import SkyNetBackbone
+from ..nn.module import Module
+from .alexnet import AlexNetBackbone
+from .mobilenet import MobileNetBackbone
+from .resnet import ResNetBackbone
+from .shufflenet import ShuffleNetBackbone
+from .squeezenet import SqueezeNetBackbone
+from .tinyyolo import TinyYoloBackbone
+from .vgg import VGGBackbone
+
+__all__ = ["BACKBONES", "build_backbone", "backbone_names"]
+
+
+BACKBONES: dict[str, Callable[..., Module]] = {
+    "skynet": lambda width_mult=1.0, rng=None: SkyNetBackbone(
+        "C", width_mult=width_mult, rng=rng
+    ),
+    "skynet-a": lambda width_mult=1.0, rng=None: SkyNetBackbone(
+        "A", width_mult=width_mult, rng=rng
+    ),
+    "skynet-b": lambda width_mult=1.0, rng=None: SkyNetBackbone(
+        "B", width_mult=width_mult, rng=rng
+    ),
+    "resnet18": lambda width_mult=1.0, rng=None: ResNetBackbone(
+        18, width_mult, rng=rng
+    ),
+    "resnet34": lambda width_mult=1.0, rng=None: ResNetBackbone(
+        34, width_mult, rng=rng
+    ),
+    "resnet50": lambda width_mult=1.0, rng=None: ResNetBackbone(
+        50, width_mult, rng=rng
+    ),
+    "vgg16": lambda width_mult=1.0, rng=None: VGGBackbone(
+        width_mult, batch_norm=False, rng=rng
+    ),
+    "vgg16-bn": lambda width_mult=1.0, rng=None: VGGBackbone(
+        width_mult, batch_norm=True, rng=rng
+    ),
+    "alexnet": lambda width_mult=1.0, rng=None: AlexNetBackbone(
+        width_mult, rng=rng
+    ),
+    "mobilenet": lambda width_mult=1.0, rng=None: MobileNetBackbone(
+        width_mult, rng=rng
+    ),
+    "shufflenet": lambda width_mult=1.0, rng=None: ShuffleNetBackbone(
+        width_mult, rng=rng
+    ),
+    "squeezenet": lambda width_mult=1.0, rng=None: SqueezeNetBackbone(
+        width_mult, rng=rng
+    ),
+    "tinyyolo": lambda width_mult=1.0, rng=None: TinyYoloBackbone(
+        width_mult, rng=rng
+    ),
+}
+
+
+def backbone_names() -> list[str]:
+    return sorted(BACKBONES)
+
+
+def build_backbone(
+    name: str,
+    width_mult: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> Module:
+    """Instantiate a backbone by registry name."""
+    try:
+        factory = BACKBONES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown backbone {name!r}; available: {backbone_names()}"
+        ) from None
+    return factory(width_mult=width_mult, rng=rng)

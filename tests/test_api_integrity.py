@@ -1,0 +1,42 @@
+"""API integrity: every public module imports and ``__all__`` resolves."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module_name}.__all__ lists {name!r}"
+
+
+def test_package_layout_complete():
+    """The DESIGN.md system inventory's packages all exist."""
+    for pkg in ("repro.nn", "repro.core", "repro.detection",
+                "repro.datasets", "repro.hardware", "repro.contest",
+                "repro.zoo", "repro.tracking", "repro.utils"):
+        importlib.import_module(pkg)
+
+
+def test_every_public_module_has_docstring():
+    for module_name in MODULES:
+        mod = importlib.import_module(module_name)
+        assert mod.__doc__, f"{module_name} lacks a module docstring"

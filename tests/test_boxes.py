@@ -1,0 +1,120 @@
+"""Tests for box utilities and detection anchors, with property checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.anchors import DEFAULT_ANCHORS, anchor_iou, kmeans_anchors
+from repro.detection.boxes import (
+    box_area,
+    box_iou,
+    clip_boxes,
+    cxcywh_to_xyxy,
+    pairwise_iou,
+    xyxy_to_cxcywh,
+)
+
+boxes_strategy = st.tuples(
+    st.floats(0.05, 0.95), st.floats(0.05, 0.95),
+    st.floats(0.01, 0.5), st.floats(0.01, 0.5),
+).map(lambda t: np.array(t))
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        b = np.array([[0.5, 0.5, 0.2, 0.4], [0.1, 0.9, 0.05, 0.1]])
+        np.testing.assert_allclose(xyxy_to_cxcywh(cxcywh_to_xyxy(b)), b,
+                                   atol=1e-12)
+
+    @given(boxes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, box):
+        np.testing.assert_allclose(
+            xyxy_to_cxcywh(cxcywh_to_xyxy(box)), box, atol=1e-9
+        )
+
+    def test_corner_values(self):
+        xyxy = cxcywh_to_xyxy(np.array([0.5, 0.5, 0.2, 0.4]))
+        np.testing.assert_allclose(xyxy, [0.4, 0.3, 0.6, 0.7])
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        b = np.array([0.1, 0.1, 0.5, 0.5])
+        assert box_iou(b, b) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([0.0, 0.0, 0.2, 0.2])
+        b = np.array([0.5, 0.5, 0.9, 0.9])
+        assert box_iou(a, b) == pytest.approx(0.0)
+
+    def test_known_overlap(self):
+        a = np.array([0.0, 0.0, 2.0, 2.0])
+        b = np.array([1.0, 1.0, 3.0, 3.0])
+        assert box_iou(a, b) == pytest.approx(1.0 / 7.0)
+
+    def test_degenerate_box_zero_iou(self):
+        a = np.array([0.5, 0.5, 0.5, 0.5])
+        assert box_iou(a, a) == pytest.approx(0.0)
+
+    @given(boxes_strategy, boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_iou_symmetric_and_bounded(self, b1, b2):
+        a, b = cxcywh_to_xyxy(b1), cxcywh_to_xyxy(b2)
+        iou_ab = box_iou(a, b)
+        iou_ba = box_iou(b, a)
+        assert iou_ab == pytest.approx(iou_ba, abs=1e-12)
+        assert 0.0 <= iou_ab <= 1.0
+
+    def test_pairwise_shape(self, rng):
+        a = cxcywh_to_xyxy(rng.uniform(0.3, 0.6, size=(4, 4)))
+        b = cxcywh_to_xyxy(rng.uniform(0.3, 0.6, size=(6, 4)))
+        assert pairwise_iou(a, b).shape == (4, 6)
+
+    def test_area(self):
+        assert box_area(np.array([0.0, 0.0, 2.0, 3.0])) == pytest.approx(6.0)
+        # negative extents clamp
+        assert box_area(np.array([1.0, 1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_clip(self):
+        b = np.array([-0.5, 0.2, 1.5, 0.8])
+        np.testing.assert_allclose(clip_boxes(b), [0.0, 0.2, 1.0, 0.8])
+
+
+class TestAnchors:
+    def test_default_anchors_small(self):
+        # DAC-SDC is a small-object task; both anchors under 10% area
+        areas = DEFAULT_ANCHORS[:, 0] * DEFAULT_ANCHORS[:, 1]
+        assert (areas < 0.1).all()
+
+    def test_anchor_iou_identity(self):
+        wh = np.array([[0.2, 0.3]])
+        iou = anchor_iou(wh, wh)
+        assert iou[0, 0] == pytest.approx(1.0)
+
+    def test_anchor_iou_ordering(self):
+        wh = np.array([[0.1, 0.1]])
+        anchors = np.array([[0.1, 0.1], [0.5, 0.5]])
+        iou = anchor_iou(wh, anchors)
+        assert iou[0, 0] > iou[0, 1]
+
+    def test_kmeans_recovers_two_clusters(self, rng):
+        small = rng.normal([0.05, 0.05], 0.005, size=(100, 2))
+        large = rng.normal([0.4, 0.4], 0.01, size=(100, 2))
+        wh = np.abs(np.concatenate([small, large]))
+        anchors = kmeans_anchors(wh, k=2, rng=rng)
+        assert anchors[0, 0] == pytest.approx(0.05, abs=0.02)
+        assert anchors[1, 0] == pytest.approx(0.4, abs=0.05)
+
+    def test_kmeans_sorted_by_area(self, rng):
+        wh = rng.uniform(0.02, 0.5, size=(50, 2))
+        anchors = kmeans_anchors(wh, k=3, rng=rng)
+        areas = anchors[:, 0] * anchors[:, 1]
+        assert (np.diff(areas) >= 0).all()
+
+    def test_kmeans_needs_enough_boxes(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_anchors(np.array([[0.1, 0.1]]), k=2, rng=rng)

@@ -1,0 +1,162 @@
+"""Tests for DAC-SDC scoring — validated against the paper's tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contest import (
+    FPGA_2018,
+    FPGA_2019,
+    FPGA_TRACK,
+    GPU_2018,
+    GPU_2019,
+    GPU_TRACK,
+    OPTIMIZATIONS,
+    TAXONOMY,
+    Submission,
+    average_energy,
+    energy_score,
+    iou_score,
+    run_track,
+    score_entries,
+    total_score,
+)
+
+
+class TestEquations:
+    def test_iou_score_is_mean(self, rng):
+        ious = rng.uniform(0, 1, size=100)
+        assert iou_score(ious) == pytest.approx(ious.mean())
+
+    def test_iou_score_validates(self):
+        with pytest.raises(ValueError):
+            iou_score(np.array([1.5]))
+        with pytest.raises(ValueError):
+            iou_score(np.array([]))
+
+    def test_average_energy(self):
+        assert average_energy([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            average_energy([])
+        with pytest.raises(ValueError):
+            average_energy([-1.0])
+
+    def test_energy_score_at_average_is_one(self):
+        assert energy_score(5.0, 5.0, GPU_TRACK) == pytest.approx(1.0)
+
+    def test_energy_score_rewards_efficiency(self):
+        better = energy_score(1.0, 10.0, GPU_TRACK)
+        worse = energy_score(100.0, 10.0, GPU_TRACK)
+        assert better > 1.0 > worse
+
+    def test_energy_score_floor_at_zero(self):
+        assert energy_score(1e9, 1.0, GPU_TRACK) == 0.0
+
+    def test_track_log_bases(self):
+        # Eq. 4: x = 10 for GPU, 2 for FPGA -> FPGA rewards the same
+        # energy ratio more strongly
+        assert energy_score(1.0, 2.0, FPGA_TRACK) > energy_score(
+            1.0, 2.0, GPU_TRACK
+        )
+
+    def test_total_score(self):
+        assert total_score(0.7, 1.0) == pytest.approx(1.4)
+
+
+class TestPublishedFields:
+    """Recomputing Eqs. 2-5 from the published IoU/FPS/power columns must
+    reproduce the published total scores and rankings."""
+
+    @pytest.mark.parametrize(
+        "field,track",
+        [(GPU_2019, GPU_TRACK), (GPU_2018, GPU_TRACK),
+         (FPGA_2019, FPGA_TRACK), (FPGA_2018, FPGA_TRACK)],
+    )
+    def test_recomputed_scores_match_published(self, field, track):
+        """With the field-average energy recovered from the published
+        rows, Eqs. (2)-(5) reproduce every total score to ~3 decimals."""
+        from repro.contest import implied_field_energy
+
+        e_bar = implied_field_energy(list(field), track)
+        scored = score_entries(
+            [e.as_dict() for e in field], track, field_energy=e_bar
+        )
+        published = {e.name: e.total_score for e in field}
+        for s in scored:
+            assert s.total_score == pytest.approx(
+                published[s.name], abs=0.01
+            ), s.name
+
+    def test_implied_field_energy_consistent_across_rows(self):
+        """Each published row independently implies (nearly) the same
+        hidden E_bar — a consistency check on Tables 5/6."""
+        from repro.contest.scoring import implied_field_energy
+
+        for field, track in ((GPU_2019, GPU_TRACK), (FPGA_2019, FPGA_TRACK)):
+            per_row = [
+                implied_field_energy([e], track) for e in field
+            ]
+            spread = (max(per_row) - min(per_row)) / np.mean(per_row)
+            assert spread < 0.1
+
+    def test_skynet_wins_both_tracks(self):
+        gpu = score_entries([e.as_dict() for e in GPU_2019 + GPU_2018],
+                            GPU_TRACK)
+        fpga = score_entries([e.as_dict() for e in FPGA_2019 + FPGA_2018],
+                             FPGA_TRACK)
+        assert "SkyNet" in gpu[0].name
+        assert "SkyNet" in fpga[0].name
+
+    def test_rankings_preserved_within_year(self):
+        scored = score_entries([e.as_dict() for e in GPU_2019], GPU_TRACK)
+        assert [s.name for s in scored] == [e.name for e in GPU_2019]
+
+    def test_entries_have_positive_fps(self):
+        for e in GPU_2019 + GPU_2018 + FPGA_2019 + FPGA_2018:
+            assert e.fps > 0 and e.power_w > 0
+            assert 0 < e.iou < 1
+
+    def test_fps_zero_rejected(self):
+        with pytest.raises(ValueError):
+            score_entries(
+                [{"name": "x", "iou": 0.5, "fps": 0.0, "power_w": 5.0}],
+                GPU_TRACK,
+            )
+
+
+class TestTaxonomy:
+    def test_table1_has_ten_rows(self):
+        assert len(TAXONOMY) == 10
+
+    def test_optimization_names_resolve(self):
+        for row in TAXONOMY:
+            names = row.optimization_names()
+            assert len(names) == len(row.optimizations)
+            for n in names:
+                assert n in OPTIMIZATIONS.values()
+
+    def test_all_entries_use_quantization_or_multithreading(self):
+        """Table 1's pattern: every winner compresses or parallelizes."""
+        for row in TAXONOMY:
+            assert 3 in row.optimizations or 9 in row.optimizations
+
+    def test_tracks_partitioned(self):
+        gpu_rows = [r for r in TAXONOMY if r.track == "gpu"]
+        fpga_rows = [r for r in TAXONOMY if r.track == "fpga"]
+        assert len(gpu_rows) == 5 and len(fpga_rows) == 5
+
+
+class TestRunTrack:
+    def test_submission_replaces_published_skynet(self):
+        sub = Submission("SkyNet (repro)", iou=0.70, fps=60.0, power_w=13.0)
+        scored = run_track(sub, list(GPU_2019 + GPU_2018), "gpu")
+        names = [s.name for s in scored]
+        assert "SkyNet (repro)" in names
+        assert "SkyNet (ours)" not in names
+        assert len(scored) == 6
+
+    def test_good_submission_wins(self):
+        sub = Submission("SkyNet (repro)", iou=0.73, fps=67.0, power_w=13.5)
+        scored = run_track(sub, list(GPU_2019 + GPU_2018), "gpu")
+        assert scored[0].name == "SkyNet (repro)"

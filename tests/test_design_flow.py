@@ -1,0 +1,76 @@
+"""End-to-end tests for the bottom-up design flow (budget-scaled)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BottomUpFlow,
+    FlowConfig,
+    PSOConfig,
+    bundle_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def flow(request):
+    from repro.datasets import make_dacsdc_splits
+
+    train, val = make_dacsdc_splits(40, 12, image_hw=(32, 64), seed=11)
+    config = FlowConfig(
+        sketch_channels=(4, 8, 12, 16),
+        sketch_pools=(0, 1, 2),
+        sketch_epochs=1,
+        max_selected_bundles=2,
+        pso=PSOConfig(
+            particles_per_group=2,
+            iterations=1,
+            epochs_base=1,
+            depth=4,
+            n_pools=3,
+            channel_choices=(4, 8, 12, 16),
+        ),
+        final_epochs=1,
+    )
+    return BottomUpFlow(
+        train,
+        val,
+        config=config,
+        catalog=(bundle_by_name("dw3-pw"), bundle_by_name("conv3"),
+                 bundle_by_name("pw")),
+    )
+
+
+class TestStage1:
+    def test_bundle_evaluations(self, flow):
+        evals = flow.stage1_select_bundles(np.random.default_rng(0))
+        assert len(evals) == 3
+        assert all(e.latency_ms > 0 for e in evals)
+        assert all(0.0 <= e.accuracy <= 1.0 for e in evals)
+        assert any(e.on_frontier for e in evals)
+
+    def test_selected_bundles_capped(self, flow):
+        evals = flow.stage1_select_bundles(np.random.default_rng(0))
+        chosen = flow.selected_bundles(evals, max_bundles=1)
+        assert len(chosen) == 1
+
+    def test_sketch_uses_fixed_structure(self, flow):
+        dna = flow.sketch_dna(bundle_by_name("dw3-pw"))
+        assert dna.channels == flow.config.sketch_channels
+        assert dna.pool_positions == flow.config.sketch_pools
+
+
+class TestFullFlow:
+    def test_run_produces_trained_detector(self, flow):
+        result = flow.run(np.random.default_rng(1))
+        # Stage 3 must have applied the feature additions
+        assert result.final_dna.bypass
+        assert result.final_dna.activation == "relu6"
+        # the detector is runnable
+        preds = result.final_detector.predict(flow.val.images[:4])
+        assert preds.shape == (4, 4)
+        assert 0.0 <= result.final_iou <= 1.0
+        # bookkeeping complete
+        assert len(result.stage1) == 3
+        assert result.stage2.global_best.fitness > -np.inf

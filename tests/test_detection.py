@@ -1,0 +1,205 @@
+"""Tests for the YOLO head, loss, metrics, detector, and trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.skynet import SkyNetBackbone
+from repro.detection import (
+    DetectionTrainer,
+    Detector,
+    TrainConfig,
+    YoloHead,
+    YoloLoss,
+    best_box,
+    decode_grid,
+    evaluate_detector,
+    mean_iou,
+)
+from repro.detection.anchors import DEFAULT_ANCHORS
+from repro.nn import Tensor
+
+
+class TestYoloHead:
+    def test_output_channels(self, rng):
+        head = YoloHead(32, rng=rng)
+        out = head(Tensor(rng.normal(size=(2, 32, 4, 6))))
+        assert out.shape == (2, 10, 4, 6)  # 2 anchors x 5
+
+    def test_custom_anchor_count(self, rng):
+        anchors = np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]])
+        head = YoloHead(16, anchors=anchors, rng=rng)
+        out = head(Tensor(rng.normal(size=(1, 16, 3, 3))))
+        assert out.shape == (1, 15, 3, 3)
+
+
+class TestDecode:
+    def test_decode_shapes(self, rng):
+        raw = rng.normal(size=(2, 10, 4, 6))
+        boxes, conf = decode_grid(raw, DEFAULT_ANCHORS)
+        assert boxes.shape == (2, 2, 4, 6, 4)
+        assert conf.shape == (2, 2, 4, 6)
+
+    def test_decode_boxes_in_unit_square(self, rng):
+        raw = rng.normal(size=(1, 10, 4, 4)) * 0.1
+        boxes, conf = decode_grid(raw, DEFAULT_ANCHORS)
+        assert (boxes[..., 0] >= 0).all() and (boxes[..., 0] <= 1).all()
+        assert (boxes[..., 1] >= 0).all() and (boxes[..., 1] <= 1).all()
+        assert (conf > 0).all() and (conf < 1).all()
+
+    def test_decode_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            decode_grid(rng.normal(size=(1, 7, 4, 4)), DEFAULT_ANCHORS)
+
+    def test_zero_logits_center_the_cell(self):
+        raw = np.zeros((1, 10, 2, 2))
+        boxes, _ = decode_grid(raw, DEFAULT_ANCHORS)
+        # sigmoid(0)=0.5 -> centers at cell midpoints
+        np.testing.assert_allclose(boxes[0, 0, 0, 0, :2], [0.25, 0.25])
+        np.testing.assert_allclose(boxes[0, 0, 1, 1, :2], [0.75, 0.75])
+
+    def test_best_box_selects_highest_conf(self):
+        raw = np.zeros((1, 10, 2, 2))
+        raw[0, 4, 1, 0] = 5.0  # anchor-0 conf at cell (1,0)
+        box = best_box(raw, DEFAULT_ANCHORS)
+        np.testing.assert_allclose(box[0, :2], [0.25, 0.75])
+
+
+class TestYoloLoss:
+    def test_targets_mark_single_responsible_cell(self):
+        loss = YoloLoss(DEFAULT_ANCHORS)
+        gt = np.array([[0.6, 0.4, 0.08, 0.1]])
+        tgt = loss.build_targets(gt, (4, 8))
+        assert tgt["obj_mask"].sum() == 1.0
+        # cell (row=1, col=4): cy*4=1.6 -> 1, cx*8=4.8 -> 4
+        a = tgt["obj_mask"][0].nonzero()
+        assert (a[1][0], a[2][0]) == (1, 4)
+
+    def test_target_offsets_in_unit_interval(self, rng):
+        loss = YoloLoss(DEFAULT_ANCHORS)
+        gt = rng.uniform(0.2, 0.8, size=(8, 4))
+        tgt = loss.build_targets(gt, (6, 12))
+        mask = tgt["obj_mask"][..., None].astype(bool)
+        vals = tgt["txy"][mask[..., 0]]
+        assert (vals >= 0).all() and (vals <= 1).all()
+
+    def test_loss_is_positive_scalar(self, rng):
+        loss_fn = YoloLoss(DEFAULT_ANCHORS)
+        raw = Tensor(rng.normal(size=(4, 10, 4, 8)), requires_grad=True)
+        gt = rng.uniform(0.3, 0.7, size=(4, 4))
+        loss = loss_fn(raw, gt)
+        assert loss.shape == ()
+        assert loss.item() > 0
+
+    def test_loss_gradient_flows(self, rng):
+        loss_fn = YoloLoss(DEFAULT_ANCHORS)
+        raw = Tensor(rng.normal(size=(2, 10, 4, 4)), requires_grad=True)
+        gt = rng.uniform(0.3, 0.7, size=(2, 4))
+        loss_fn(raw, gt).backward()
+        assert raw.grad is not None
+        assert np.abs(raw.grad).sum() > 0
+
+    def test_perfect_prediction_lower_loss(self, rng):
+        """Raw values matching the targets must score lower than noise."""
+        anchors = DEFAULT_ANCHORS
+        loss_fn = YoloLoss(anchors)
+        gt = np.array([[0.5, 0.5, anchors[0, 0], anchors[0, 1]]])
+        tgt = loss_fn.build_targets(gt, (4, 4))
+        raw = np.zeros((1, 2, 5, 4, 4))
+        # construct near-perfect logits at the responsible location
+        mask = tgt["obj_mask"][0].astype(bool)
+        raw[0, :, 4][~mask.reshape(2, 4, 4)] = -8.0
+        raw[0, :, 4][mask.reshape(2, 4, 4)] = 8.0
+        good = loss_fn(Tensor(raw.reshape(1, 10, 4, 4)), gt).item()
+        bad = loss_fn(
+            Tensor(np.random.default_rng(0).normal(size=(1, 10, 4, 4)) * 3),
+            gt,
+        ).item()
+        assert good < bad
+
+    def test_channel_mismatch_raises(self, rng):
+        loss_fn = YoloLoss(DEFAULT_ANCHORS)
+        with pytest.raises(ValueError):
+            loss_fn(Tensor(rng.normal(size=(1, 8, 4, 4))),
+                    np.array([[0.5, 0.5, 0.1, 0.1]]))
+
+
+class TestMetrics:
+    def test_mean_iou_perfect(self, rng):
+        boxes = rng.uniform(0.3, 0.6, size=(10, 4))
+        assert mean_iou(boxes, boxes) == pytest.approx(1.0)
+
+    def test_mean_iou_zero_for_disjoint(self):
+        a = np.tile([0.1, 0.1, 0.05, 0.05], (3, 1))
+        b = np.tile([0.9, 0.9, 0.05, 0.05], (3, 1))
+        assert mean_iou(a, b) == pytest.approx(0.0)
+
+
+class TestDetectorAndTrainer:
+    def test_detector_forward_grid(self, rng):
+        det = Detector(SkyNetBackbone("C", width_mult=0.125, rng=rng))
+        out = det(Tensor(rng.uniform(size=(2, 3, 32, 64)).astype(np.float32)))
+        assert out.shape == (2, 10, 4, 8)
+
+    def test_predict_returns_boxes(self, rng):
+        det = Detector(SkyNetBackbone("A", width_mult=0.125, rng=rng))
+        boxes = det.predict(
+            rng.uniform(size=(3, 3, 32, 64)).astype(np.float32)
+        )
+        assert boxes.shape == (3, 4)
+
+    def test_predict_preserves_training_mode(self, rng):
+        det = Detector(SkyNetBackbone("A", width_mult=0.125, rng=rng))
+        det.train()
+        det.predict(rng.uniform(size=(1, 3, 32, 64)).astype(np.float32))
+        assert det.training
+
+    def test_training_reduces_loss(self, tiny_detection_data, rng):
+        train, val = tiny_detection_data
+        det = Detector(SkyNetBackbone("A", width_mult=0.125,
+                                      rng=np.random.default_rng(0)))
+        trainer = DetectionTrainer(
+            det, TrainConfig(epochs=6, batch_size=16, augment=False)
+        )
+        result = trainer.fit(train, val)
+        assert result.losses[-1] < result.losses[0] * 0.8
+        assert 0.0 <= result.final_iou <= 1.0
+
+    def test_trainer_eval_history(self, tiny_detection_data):
+        train, val = tiny_detection_data
+        det = Detector(SkyNetBackbone("A", width_mult=0.125,
+                                      rng=np.random.default_rng(0)))
+        trainer = DetectionTrainer(
+            det, TrainConfig(epochs=2, batch_size=16, augment=False,
+                             eval_every=1)
+        )
+        result = trainer.fit(train, val)
+        assert len(result.val_ious) == 2
+        assert result.best_iou >= result.final_iou - 1e-9
+
+    def test_sgd_optimizer_path(self, tiny_detection_data):
+        train, val = tiny_detection_data
+        det = Detector(SkyNetBackbone("A", width_mult=0.125,
+                                      rng=np.random.default_rng(0)))
+        trainer = DetectionTrainer(
+            det,
+            TrainConfig(epochs=1, optimizer="sgd", lr=1e-3, final_lr=1e-4,
+                        augment=False),
+        )
+        result = trainer.fit(train)
+        assert len(result.losses) == 1
+
+    def test_unknown_optimizer_raises(self, tiny_detection_data):
+        train, _ = tiny_detection_data
+        det = Detector(SkyNetBackbone("A", width_mult=0.125))
+        trainer = DetectionTrainer(det, TrainConfig(optimizer="lbfgs"))
+        with pytest.raises(ValueError):
+            trainer.fit(train)
+
+    def test_evaluate_detector_batching(self, tiny_detection_data):
+        train, val = tiny_detection_data
+        det = Detector(SkyNetBackbone("A", width_mult=0.125))
+        iou_small = evaluate_detector(det, val.images, val.boxes, batch_size=4)
+        iou_large = evaluate_detector(det, val.images, val.boxes, batch_size=64)
+        assert iou_small == pytest.approx(iou_large, abs=1e-9)

@@ -1,0 +1,128 @@
+"""Tests for the contest system model and cross-cutting invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contest.evaluation import (
+    FETCH_MS_PER_FRAME,
+    POST_MS_PER_FRAME,
+    PRE_MS_PER_FRAME,
+    Submission,
+    system_schedule,
+)
+from repro.hardware import LayerDesc, PipelineSimulator, Stage
+
+
+class TestSystemSchedule:
+    def test_pipelining_always_helps(self):
+        serial, piped, speedup = system_schedule(40.0, 12.0, 4)
+        assert piped > serial
+        assert speedup > 1.0
+
+    def test_batch_one_degenerate(self):
+        serial, piped, speedup = system_schedule(12.0, 12.0, 1)
+        assert speedup > 1.0  # overlap still helps even unbatched
+        assert serial == pytest.approx(
+            1e3 / (FETCH_MS_PER_FRAME + PRE_MS_PER_FRAME + 12.0
+                   + POST_MS_PER_FRAME)
+        )
+
+    def test_inference_bound_regime(self):
+        """With a slow network, the pipeline saturates at the
+        inference stage's throughput."""
+        _, piped, _ = system_schedule(400.0, 100.0, 4)
+        assert piped == pytest.approx(4 / 400.0 * 1e3, rel=0.02)
+
+    def test_host_bound_regime(self):
+        """With a trivial network, host stages cap the pipeline."""
+        _, piped, _ = system_schedule(0.4, 0.1, 4)
+        merged = (FETCH_MS_PER_FRAME + PRE_MS_PER_FRAME) * 4 / 2
+        assert piped <= 4 / merged * 1e3 * 1.05
+
+    @given(
+        st.floats(1.0, 200.0),
+        st.floats(1.0, 200.0),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_speedup_consistent(self, batch_ms, single_ms, batch):
+        single_ms = max(single_ms, batch_ms / batch)  # physical ordering
+        serial, piped, speedup = system_schedule(batch_ms, single_ms, batch)
+        assert speedup == pytest.approx(piped / serial, rel=1e-9)
+        assert serial > 0 and piped > 0
+
+
+class TestSubmission:
+    def test_as_dict_roundtrip(self):
+        s = Submission("x", 0.5, 30.0, 10.0)
+        d = s.as_dict()
+        assert d == {"name": "x", "iou": 0.5, "fps": 30.0, "power_w": 10.0}
+
+
+class TestPipelineProperties:
+    @given(
+        st.lists(st.floats(0.1, 50.0), min_size=1, max_size=6),
+        st.integers(2, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pipelined_never_slower_than_serial(self, latencies, n):
+        stages = [Stage(f"s{i}", v) for i, v in enumerate(latencies)]
+        sim = PipelineSimulator(stages)
+        assert (
+            sim.run_pipelined(n).makespan_ms
+            <= sim.run_serial(n).makespan_ms + 1e-9
+        )
+
+    @given(
+        st.lists(st.floats(0.1, 50.0), min_size=2, max_size=6),
+        st.integers(8, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_speedup_bounded_by_stage_count(self, latencies, n):
+        stages = [Stage(f"s{i}", v) for i, v in enumerate(latencies)]
+        sim = PipelineSimulator(stages)
+        assert sim.speedup(n) <= len(stages) + 1e-9
+
+    @given(st.lists(st.floats(0.5, 20.0), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_asymptotic_rate_matches_bottleneck(self, latencies):
+        stages = [Stage(f"s{i}", v) for i, v in enumerate(latencies)]
+        sim = PipelineSimulator(stages)
+        res = sim.run_pipelined(400)
+        assert res.fps == pytest.approx(sim.steady_state_fps(), rel=0.05)
+
+
+class TestLayerDescProperties:
+    @given(
+        st.sampled_from(["conv", "dwconv", "pwconv", "pool", "bn", "act"]),
+        st.integers(1, 64),
+        st.integers(1, 64),
+        st.integers(2, 32),
+        st.integers(2, 32),
+        st.sampled_from([1, 3, 5]),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_macs_params_nonnegative_and_consistent(
+        self, kind, cin, cout, h, w, k, s
+    ):
+        if kind == "dwconv":
+            cout = cin
+        layer = LayerDesc(kind, cin, cout, h, w, kernel=k, stride=s)
+        assert layer.macs >= 0
+        assert layer.params >= 0
+        assert layer.out_h >= 1 or kind == "pool"
+        # doubling the spatial extent (approximately) quadruples MACs
+        # for compute layers with 'same' geometry
+        if kind in ("conv", "pwconv") and s == 1:
+            big = LayerDesc(kind, cin, cout, 2 * h, 2 * w, kernel=k, stride=1)
+            assert big.macs == 4 * layer.macs
+
+    def test_param_independent_of_resolution(self):
+        a = LayerDesc("conv", 8, 16, 8, 8, 3)
+        b = LayerDesc("conv", 8, 16, 32, 32, 3)
+        assert a.params == b.params

@@ -1,0 +1,162 @@
+"""Deeper unit tests for internals: anchor targets, PSO moves, loss
+weighting, dataset invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SkyNetBackbone, bundle_by_name
+from repro.core.pso import GroupPSO, PSOConfig
+from repro.core.search_space import CandidateDNA
+from repro.datasets import make_got10k
+from repro.detection import YoloLoss
+from repro.detection.anchors import DEFAULT_ANCHORS
+from repro.nn import Tensor
+from repro.tracking import SiamRPN, SiameseTrainer, TrackTrainConfig, sample_pairs
+
+
+class TestAnchorTargets:
+    def _trainer(self):
+        bb = SkyNetBackbone("C", width_mult=0.125,
+                            rng=np.random.default_rng(0))
+        model = SiamRPN(bb, feat_ch=8, rng=np.random.default_rng(1))
+        return SiameseTrainer(model, TrackTrainConfig()), model
+
+    def test_always_at_least_one_positive(self, rng):
+        trainer, model = self._trainer()
+        gts = rng.uniform(0.3, 0.7, size=(6, 4))
+        labels, loc_t, pos = trainer._anchor_targets(gts)
+        for i in range(6):
+            assert pos[i].sum() >= 1
+
+    def test_labels_partition(self, rng):
+        trainer, _ = self._trainer()
+        gts = rng.uniform(0.3, 0.7, size=(4, 4))
+        labels, _, _ = trainer._anchor_targets(gts)
+        assert set(np.unique(labels)).issubset({-1.0, 0.0, 1.0})
+
+    def test_positive_anchor_has_high_iou(self):
+        trainer, model = self._trainer()
+        # a target exactly on an anchor: that anchor must be positive
+        anchor_box = model.anchors.boxes[1, 2, 2]  # ratio-1 center anchor
+        labels, _, pos = trainer._anchor_targets(anchor_box[None])
+        assert pos[0, 1, 2, 2]
+
+    def test_loc_targets_zero_for_matching_anchor(self):
+        trainer, model = self._trainer()
+        anchor_box = model.anchors.boxes[1, 2, 2]
+        _, loc_t, _ = trainer._anchor_targets(anchor_box[None])
+        np.testing.assert_allclose(loc_t[0, 1, 2, 2], np.zeros(4), atol=1e-9)
+
+
+class TestYoloLossWeighting:
+    def test_noobj_weight_downscales_background(self, rng):
+        gt = np.array([[0.5, 0.5, 0.1, 0.1]])
+        raw = Tensor(np.zeros((1, 10, 4, 4)), requires_grad=True)
+        low = YoloLoss(DEFAULT_ANCHORS, lambda_noobj=0.1)(raw, gt).item()
+        high = YoloLoss(DEFAULT_ANCHORS, lambda_noobj=1.0)(raw, gt).item()
+        assert high > low
+
+    def test_coord_weight_scales_loss(self, rng):
+        gt = np.array([[0.5, 0.5, 0.1, 0.1]])
+        raw = Tensor(rng.normal(size=(1, 10, 4, 4)))
+        l1 = YoloLoss(DEFAULT_ANCHORS, lambda_coord=1.0)(raw, gt).item()
+        l5 = YoloLoss(DEFAULT_ANCHORS, lambda_coord=5.0)(raw, gt).item()
+        assert l5 > l1
+
+    def test_batch_mean_normalization(self, rng):
+        gt1 = np.array([[0.5, 0.5, 0.1, 0.1]])
+        raw1 = np.zeros((1, 10, 4, 4))
+        loss1 = YoloLoss(DEFAULT_ANCHORS)(Tensor(raw1), gt1).item()
+        # duplicating the batch must not change the (mean) loss
+        gt2 = np.tile(gt1, (2, 1))
+        raw2 = np.tile(raw1, (2, 1, 1, 1))
+        loss2 = YoloLoss(DEFAULT_ANCHORS)(Tensor(raw2), gt2).item()
+        assert loss2 == pytest.approx(loss1, rel=1e-6)
+
+
+class TestPsoMoves:
+    def _pso(self):
+        return GroupPSO(
+            [bundle_by_name("dw3-pw")],
+            accuracy_fn=lambda dna, ep: 0.5,
+            config=PSOConfig(depth=4, n_pools=2),
+            input_hw=(16, 32),
+        )
+
+    def test_channel_move_stays_within_bounds(self, rng):
+        pso = self._pso()
+        out = pso._update_channels((4, 4, 4, 4), (96, 96, 96, 96), rng)
+        assert all(
+            pso.config.min_channels <= c <= pso.config.max_channels
+            for c in out
+        )
+
+    def test_channel_move_directional(self, rng):
+        pso = self._pso()
+        for _ in range(5):
+            out = pso._update_channels((8, 8, 8, 8), (64, 64, 64, 64), rng)
+            assert all(8 <= c <= 64 for c in out)
+
+    def test_move_toward_identical_best_is_identity(self, rng):
+        pso = self._pso()
+        cur = (16, 24, 32, 48)
+        assert pso._update_channels(cur, cur, rng) == cur
+        assert pso._update_pools((0, 2), (0, 2), rng) == (0, 2)
+
+    def test_pool_move_valid_positions(self, rng):
+        pso = self._pso()
+        for _ in range(10):
+            out = pso._update_pools((0, 1), (2, 3), rng)
+            assert len(out) == 2
+            assert all(0 <= p <= 3 for p in out)
+            assert len(set(out)) == 2
+
+
+class TestDnaBypassGeometry:
+    def test_bypass_source_is_last_pool(self):
+        dna = CandidateDNA(
+            bundle_by_name("dw3-pw"),
+            channels=(8, 8, 8, 8, 8, 8),
+            pool_positions=(0, 2, 4),
+            bypass=True,
+        )
+        assert dna._bypass_source() == 4
+
+    def test_bypass_without_pool_rejected(self):
+        dna = CandidateDNA(
+            bundle_by_name("dw3-pw"),
+            channels=(8, 8, 8),
+            pool_positions=(),
+            bypass=True,
+        )
+        with pytest.raises(ValueError):
+            dna._bypass_source()
+
+    def test_descriptor_concat_channels(self):
+        dna = CandidateDNA(
+            bundle_by_name("dw3-pw"),
+            channels=(8, 16, 24, 32),
+            pool_positions=(0, 1, 2),
+            bypass=True,
+        )
+        desc = dna.descriptor((16, 32))
+        cat = next(l for l in desc if l.kind == "concat")
+        # last bundle input: 24 (chain output of replication 3) + 24*4
+        # (the reorged bypass tapped at the last pooling)
+        assert cat.in_ch == 24 + 96
+
+
+class TestTrackingSampling:
+    def test_pair_frames_from_same_sequence(self):
+        ds = make_got10k(2, seq_len=6, image_hw=(32, 32), seed=5)
+        batch = sample_pairs(ds, 8, np.random.default_rng(0), max_gap=2)
+        # boxes are normalized, targets near crop center given the jitter
+        assert (batch.gt_boxes[:, 2:] > 0).all()
+        assert (batch.gt_boxes[:, :2] > 0).all()
+
+    def test_gap_zero_allows_same_frame(self):
+        ds = make_got10k(1, seq_len=1, image_hw=(32, 32), seed=5)
+        batch = sample_pairs(ds, 4, np.random.default_rng(0), max_gap=3)
+        assert batch.exemplars.shape[0] == 4

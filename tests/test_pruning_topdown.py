@@ -1,0 +1,159 @@
+"""Tests for network pruning and the top-down (Fig. 1) baseline flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompressionState,
+    SkyNetBackbone,
+    TopDownConfig,
+    TopDownFlow,
+)
+from repro.datasets import make_dacsdc_splits
+from repro.detection import Detector
+from repro.hardware.pruning import (
+    magnitude_prune,
+    prunable_parameters,
+    sparsity,
+)
+from repro.nn import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+
+class _TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(8, 16, rng=np.random.default_rng(0))
+        self.fc2 = Linear(16, 4, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestMagnitudePrune:
+    def test_target_sparsity_reached(self):
+        m = _TwoLayer()
+        mask = magnitude_prune(m, 0.5)
+        assert mask.overall_sparsity == pytest.approx(0.5, abs=0.02)
+        assert sparsity(m) == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_sparsity_is_noop(self):
+        m = _TwoLayer()
+        before = m.fc1.weight.data.copy()
+        magnitude_prune(m, 0.0)
+        np.testing.assert_array_equal(m.fc1.weight.data, before)
+
+    def test_prunes_smallest_magnitudes(self):
+        m = _TwoLayer()
+        m.fc1.weight.data = np.arange(1, 129, dtype=np.float32).reshape(16, 8)
+        m.fc2.weight.data = np.full((4, 16), 1000.0, dtype=np.float32)
+        magnitude_prune(m, 0.25)
+        # the 48 smallest magnitudes all live in fc1
+        assert (m.fc2.weight.data != 0).all()
+        zeros = int((m.fc1.weight.data == 0).sum())
+        assert zeros == 48
+
+    def test_per_layer_mode_uniform(self):
+        m = _TwoLayer()
+        magnitude_prune(m, 0.5, per_layer=True)
+        for _, p in prunable_parameters(m):
+            layer_sparsity = float((p.data == 0).mean())
+            assert layer_sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_biases_never_pruned(self):
+        m = _TwoLayer()
+        m.fc1.bias.data = np.full(16, 1e-9, dtype=np.float32)
+        magnitude_prune(m, 0.9)
+        assert (m.fc1.bias.data != 0).all()
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(_TwoLayer(), 1.0)
+
+    def test_mask_survives_training_step(self):
+        m = _TwoLayer()
+        mask = magnitude_prune(m, 0.6)
+        opt = mask.wrap_optimizer(SGD(m.parameters(), lr=0.1))
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 8)))
+        (m(x) ** 2).sum().backward()
+        opt.step()
+        assert sparsity(m) >= 0.6 - 0.02  # pruned weights stayed zero
+
+    def test_remaining_parameters(self):
+        m = _TwoLayer()
+        mask = magnitude_prune(m, 0.5)
+        remaining = mask.remaining_parameters()
+        # half the weights + all the biases
+        weights = 8 * 16 + 16 * 4
+        biases = 16 + 4
+        assert remaining == pytest.approx(weights // 2 + biases, abs=2)
+
+    def test_works_on_skynet(self):
+        det = Detector(SkyNetBackbone("A", width_mult=0.125,
+                                      rng=np.random.default_rng(0)))
+        mask = magnitude_prune(det, 0.7)
+        assert mask.overall_sparsity == pytest.approx(0.7, abs=0.02)
+        # the pruned detector still runs
+        x = np.random.default_rng(1).uniform(size=(1, 3, 16, 32)).astype(
+            np.float32
+        )
+        assert det.predict(x).shape == (1, 4)
+
+
+class TestCompressionState:
+    def test_describe(self):
+        s = CompressionState(0.85, 0.5, 11, 9)
+        d = s.describe()
+        assert "0.85" in d and "50%" in d and "W11" in d
+
+    def test_float_state(self):
+        assert "fp32" in CompressionState().describe()
+
+
+class TestTopDownFlow:
+    @pytest.fixture(scope="class")
+    def flow_result(self):
+        train, val = make_dacsdc_splits(48, 16, image_hw=(32, 64), seed=13)
+        cfg = TopDownConfig(
+            reference="tinyyolo",
+            width_mult=0.25,
+            initial_epochs=2,
+            retrain_epochs=1,
+            latency_target_ms=5.0,
+            schedule=(
+                CompressionState(1.0, 0.0, None, None),
+                CompressionState(0.75, 0.5, 10, 9),
+            ),
+        )
+        flow = TopDownFlow(train, val, cfg)
+        return flow.run(np.random.default_rng(0)), cfg
+
+    def test_flow_iterates(self, flow_result):
+        result, cfg = flow_result
+        assert 1 <= result.iterations <= len(cfg.schedule)
+        assert len(result.history) == result.iterations
+
+    def test_history_records_compression(self, flow_result):
+        result, _ = flow_result
+        for record in result.history:
+            assert "latency_ms" in record and record["latency_ms"] > 0
+            assert 0.0 <= record["iou"] <= 1.0
+
+    def test_compression_reduces_latency(self, flow_result):
+        result, _ = flow_result
+        if len(result.history) >= 2:
+            assert (
+                result.history[-1]["latency_ms"]
+                < result.history[0]["latency_ms"]
+            )
+
+    def test_detector_still_works(self, flow_result):
+        result, _ = flow_result
+        x = np.random.default_rng(2).uniform(size=(2, 3, 32, 64)).astype(
+            np.float32
+        )
+        assert result.detector.predict(x).shape == (2, 4)

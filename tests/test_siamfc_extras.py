@@ -1,0 +1,142 @@
+"""Tests for the SiamFC baseline, success curves, and the Dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SkyNetBackbone
+from repro.nn import Tensor
+from repro.nn.layers import Dropout
+from repro.tracking import (
+    SiamFC,
+    SiamFCTracker,
+    SiamFCTrainer,
+    evaluate_tracker,
+    success_curve,
+)
+
+
+def _model(seed=0):
+    bb = SkyNetBackbone("C", width_mult=0.125,
+                        rng=np.random.default_rng(seed))
+    return SiamFC(bb, feat_ch=8, rng=np.random.default_rng(seed + 1))
+
+
+class TestSiamFC:
+    def test_forward_response_shape(self, rng):
+        model = _model()
+        z = Tensor(rng.uniform(size=(2, 3, 32, 32)).astype(np.float32))
+        x = Tensor(rng.uniform(size=(2, 3, 64, 64)).astype(np.float32))
+        score = model(z, x)
+        r = model.response
+        assert score.shape == (2, r, r)
+
+    def test_trainer_label_geometry(self):
+        model = _model()
+        trainer = SiamFCTrainer(model, radius=0)
+        gt = np.array([[0.5, 0.5, 0.2, 0.2]])  # centered target
+        labels = trainer._labels(gt)
+        r = model.response
+        # only the center cell is positive at radius 0
+        assert labels[0, r // 2, r // 2] == 1.0
+        assert labels.sum() == 1.0
+
+    def test_trainer_labels_follow_offset(self):
+        model = _model()
+        trainer = SiamFCTrainer(model, radius=0)
+        frac = model.stride / 64
+        gt = np.array([[0.5 + frac, 0.5, 0.2, 0.2]])  # one cell right
+        labels = trainer._labels(gt)
+        r = model.response
+        assert labels[0, r // 2, r // 2 + 1] == 1.0
+
+    def test_training_reduces_loss(self, tiny_tracking_data):
+        model = _model()
+        trainer = SiamFCTrainer(model, steps=10, batch_size=4, lr=2e-3)
+        losses = trainer.fit(tiny_tracking_data)
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_tracker_requires_init(self, rng):
+        tracker = SiamFCTracker(_model())
+        with pytest.raises(RuntimeError):
+            tracker.track(rng.uniform(size=(3, 48, 48)).astype(np.float32))
+
+    def test_tracker_boxes_valid(self, tiny_tracking_data):
+        tracker = SiamFCTracker(_model())
+        seq = tiny_tracking_data[0]
+        tracker.init(seq.frames[0], seq.boxes[0])
+        box = tracker.track(seq.frames[1])
+        assert (box >= 0).all() and (box <= 1).all()
+
+    def test_evaluates_under_protocol(self, tiny_tracking_data):
+        scores = evaluate_tracker(SiamFCTracker(_model()),
+                                  tiny_tracking_data)
+        assert 0.0 <= scores.ao <= 1.0
+
+
+class TestSuccessCurve:
+    def test_monotone_nonincreasing(self, rng):
+        ious = rng.uniform(0, 1, size=200)
+        t, r = success_curve(ious)
+        assert all(b <= a + 1e-12 for a, b in zip(r, r[1:]))
+
+    def test_endpoints(self):
+        ious = np.array([0.5, 0.5, 0.5])
+        t, r = success_curve(ious)
+        assert r[0] == 1.0  # every IoU > 0
+        assert r[-1] == 0.0  # none above 1.0
+
+    def test_auc_approximates_ao(self, rng):
+        """The GOT-10K identity: area under the success plot == AO."""
+        ious = rng.uniform(0, 1, size=5000)
+        t, r = success_curve(ious, np.linspace(0, 1, 201))
+        auc = float(np.trapezoid(r, t))
+        assert auc == pytest.approx(float(ious.mean()), abs=0.01)
+
+    def test_custom_thresholds(self):
+        t, r = success_curve(np.array([0.6]), np.array([0.5, 0.7]))
+        np.testing.assert_allclose(r, [1.0, 0.0])
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        d.eval()
+        x = Tensor(rng.normal(size=(4, 8)))
+        assert d(x) is x
+
+    def test_zero_p_identity_in_train(self, rng):
+        d = Dropout(0.0)
+        x = Tensor(rng.normal(size=(4, 8)))
+        assert d(x) is x
+
+    def test_drops_and_rescales(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        d.train()
+        x = Tensor(np.ones((100, 100)))
+        out = d(x).data
+        dropped = (out == 0).mean()
+        assert dropped == pytest.approx(0.5, abs=0.05)
+        # kept elements are scaled up by 1/(1-p)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_expectation_preserved(self):
+        d = Dropout(0.3, rng=np.random.default_rng(1))
+        d.train()
+        x = Tensor(np.ones((200, 200)))
+        assert d(x).data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_gradient_masked(self, rng):
+        d = Dropout(0.5, rng=np.random.default_rng(2))
+        d.train()
+        x = Tensor(rng.normal(size=(10, 10)), requires_grad=True)
+        out = d(x)
+        out.sum().backward()
+        # gradient is zero exactly where activations were dropped
+        np.testing.assert_array_equal(x.grad == 0, out.data == 0)

@@ -1,0 +1,328 @@
+"""Tests for the autograd tensor engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, no_grad
+from repro.nn.tensor import unbroadcast
+
+from .conftest import numerical_gradient
+
+
+class TestBasics:
+    def test_wraps_ndarray(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert not t.requires_grad
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0]), Tensor)
+
+    def test_detach_severs_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        with no_grad():
+            y = x * 3.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores(self):
+        x = Tensor([2.0], requires_grad=True)
+        with no_grad():
+            pass
+        y = x * 3.0
+        assert y.requires_grad
+
+    def test_nested_no_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                pass
+            y = x * 2.0
+        assert not y.requires_grad
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        (a * b).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+        np.testing.assert_allclose(b.grad, [2.0])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_scalar_operands(self):
+        a = Tensor([2.0], requires_grad=True)
+        y = 3.0 * a + 1.0 - 0.5
+        y.backward()
+        np.testing.assert_allclose(a.grad, [3.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (10.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.zero_grad()
+        (10.0 / a).backward()
+        np.testing.assert_allclose(a.grad, [-2.5])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1, -1])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2, 2, 2])
+
+    def test_grad_accumulates_on_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        y = a * a  # a used twice
+        y.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_diamond_graph(self):
+        # x -> (u, v) -> w : gradients must merge, each path counted once
+        x = Tensor([3.0], requires_grad=True)
+        u = x * 2.0
+        v = x + 1.0
+        w = u * v  # dw/dx = 2*(x+1) + 2x = 4x + 2 = 14
+        w.backward()
+        np.testing.assert_allclose(x.grad, [14.0])
+
+
+class TestUnaryAndReductions:
+    def test_exp_log_inverse(self):
+        x = Tensor([0.5, 1.5], requires_grad=True)
+        y = x.exp().log()
+        np.testing.assert_allclose(y.data, x.data, rtol=1e-6)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0], rtol=1e-5)
+
+    def test_sqrt(self):
+        x = Tensor([4.0], requires_grad=True)
+        x.sqrt().backward()
+        np.testing.assert_allclose(x.grad, [0.25])
+
+    def test_abs(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+    def test_sigmoid_range_and_grad(self):
+        x = Tensor([0.0], requires_grad=True)
+        s = x.sigmoid()
+        assert s.data[0] == pytest.approx(0.5)
+        s.backward()
+        np.testing.assert_allclose(x.grad, [0.25])
+
+    def test_tanh_grad(self):
+        x = Tensor([0.0], requires_grad=True)
+        x.tanh().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_relu(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_relu6_clips_both_sides(self):
+        x = Tensor([-1.0, 3.0, 10.0], requires_grad=True)
+        y = x.relu6()
+        np.testing.assert_allclose(y.data, [0.0, 3.0, 6.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_leaky_relu(self):
+        x = Tensor([-2.0, 2.0], requires_grad=True)
+        x.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3),
+                   requires_grad=True)
+        s = x.sum(axis=1, keepdims=True)
+        assert s.shape == (2, 1)
+        s.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean(self):
+        x = Tensor(np.ones((4,)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, [0.25] * 4)
+
+    def test_mean_axis(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 0.25))
+
+    def test_max_distributes_ties(self):
+        x = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_max_axis(self):
+        x = Tensor([[1.0, 5.0], [7.0, 2.0]], requires_grad=True)
+        m = x.max(axis=1)
+        np.testing.assert_allclose(m.data, [5.0, 7.0])
+        m.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1], [1, 0]])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        x = Tensor(np.arange(6, dtype=np.float64), requires_grad=True)
+        y = x.reshape(2, 3)
+        y.sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_transpose(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3),
+                   requires_grad=True)
+        y = x.transpose(1, 0)
+        assert y.shape == (3, 2)
+        (y * Tensor(np.arange(6).reshape(3, 2))).sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_T_property(self):
+        x = Tensor(np.zeros((2, 5)))
+        assert x.T.shape == (5, 2)
+
+    def test_getitem_scatter_grad(self):
+        x = Tensor(np.arange(5, dtype=np.float64), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_fancy_index_accumulates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [2, 0, 1])
+
+    def test_pad2d(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        y = x.pad2d(1)
+        assert y.shape == (1, 1, 4, 4)
+        assert y.data.sum() == pytest.approx(4.0)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert x.pad2d(0) is x
+
+    def test_concat_backward_splits(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        c = Tensor.concat([a, b], axis=0)
+        assert c.shape == (5, 2)
+        (c * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2.0))
+
+
+class TestMatmul:
+    def test_matmul_grads(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+
+        def f():
+            return float((a.data @ b.data).sum())
+
+        na = numerical_gradient(f, a.data)
+        nb = numerical_gradient(f, b.data)
+        np.testing.assert_allclose(a.grad, na, atol=1e-5)
+        np.testing.assert_allclose(b.grad, nb, atol=1e-5)
+
+    def test_batched_matmul(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+
+class TestConstructors:
+    def test_zeros_ones(self):
+        z = Tensor.zeros(2, 3)
+        o = Tensor.ones(4)
+        assert z.shape == (2, 3) and not z.data.any()
+        assert o.shape == (4,) and (o.data == 1).all()
+
+    def test_zeros_requires_grad(self):
+        z = Tensor.zeros(2, requires_grad=True)
+        assert z.requires_grad
+
+
+class TestUnbroadcast:
+    @given(
+        st.sampled_from(
+            [((2, 3), (3,)), ((4, 1, 5), (1, 5)), ((2, 2), (2, 2)),
+             ((3, 4, 5), (1, 4, 1)), ((6,), (1,))]
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_manual_sum(self, shapes):
+        big, small = shapes
+        g = np.random.default_rng(0).normal(size=big)
+        out = unbroadcast(g, small)
+        assert out.shape == small
+        # summing a ones-tensor through broadcasting must preserve total
+        np.testing.assert_allclose(out.sum(), g.sum(), rtol=1e-10)
+
+    def test_noop_when_same_shape(self):
+        g = np.ones((2, 2))
+        assert unbroadcast(g, (2, 2)) is g

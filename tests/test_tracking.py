@@ -1,0 +1,309 @@
+"""Tests for the Siamese tracking stack (Section 7 / Tables 8-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SkyNetBackbone
+from repro.datasets import make_got10k, make_youtubevos
+from repro.nn import Tensor, no_grad
+from repro.tracking import (
+    EXEMPLAR_SIZE,
+    SEARCH_SIZE,
+    RpnAnchors,
+    SiamMask,
+    SiamMaskTracker,
+    SiamRPN,
+    SiamRPNTracker,
+    SiameseTrainer,
+    TrackTrainConfig,
+    TrackerSpeedModel,
+    TrackingScores,
+    average_overlap,
+    crop_and_resize,
+    evaluate_tracker,
+    mask_to_box,
+    run_tracker,
+    sample_pairs,
+    score_tracking,
+    success_rate,
+    xcorr_depthwise,
+)
+
+
+def _tiny_model(rng_seed=0, mask=False):
+    bb = SkyNetBackbone("C", width_mult=0.125,
+                        rng=np.random.default_rng(rng_seed))
+    cls = SiamMask if mask else SiamRPN
+    return cls(bb, feat_ch=8, rng=np.random.default_rng(rng_seed + 1))
+
+
+class TestXcorr:
+    def test_matches_naive_correlation(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        z = rng.normal(size=(2, 3, 3, 3))
+        out = xcorr_depthwise(Tensor(x), Tensor(z)).data
+        assert out.shape == (2, 3, 4, 4)
+        # naive check at one location
+        n, c, i, j = 1, 2, 1, 2
+        ref = (x[n, c, i : i + 3, j : j + 3] * z[n, c]).sum()
+        assert out[n, c, i, j] == pytest.approx(ref, rel=1e-5)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            xcorr_depthwise(
+                Tensor(rng.normal(size=(1, 3, 6, 6))),
+                Tensor(rng.normal(size=(1, 4, 3, 3))),
+            )
+
+    def test_exemplar_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            xcorr_depthwise(
+                Tensor(rng.normal(size=(1, 2, 3, 3))),
+                Tensor(rng.normal(size=(1, 2, 5, 5))),
+            )
+
+    def test_gradients_flow_to_both(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        z = Tensor(rng.normal(size=(1, 2, 2, 2)), requires_grad=True)
+        xcorr_depthwise(x, z).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        assert z.grad is not None and np.abs(z.grad).sum() > 0
+
+
+class TestCrop:
+    def test_crop_shape(self, rng):
+        img = rng.uniform(size=(3, 40, 60)).astype(np.float32)
+        crop, frame = crop_and_resize(img, (0.5, 0.5), 0.4, 32)
+        assert crop.shape == (3, 32, 32)
+        x0, y0, s = frame
+        assert x0 == pytest.approx(0.3) and s == pytest.approx(0.4)
+
+    def test_crop_pads_out_of_frame(self, rng):
+        img = rng.uniform(size=(3, 32, 32)).astype(np.float32)
+        crop, _ = crop_and_resize(img, (0.0, 0.0), 0.5, 16)
+        assert np.isfinite(crop).all()
+
+    def test_coordinate_roundtrip(self, rng):
+        """A point expressed in crop coords maps back to image coords."""
+        img = rng.uniform(size=(3, 64, 64)).astype(np.float32)
+        center = (0.6, 0.4)
+        _, (x0, y0, s) = crop_and_resize(img, center, 0.3, 32)
+        # the crop center (0.5, 0.5 in crop coords) is the query center
+        assert x0 + 0.5 * s == pytest.approx(center[0])
+        assert y0 + 0.5 * s == pytest.approx(center[1])
+
+
+class TestRpnAnchors:
+    def test_anchor_grid_shape(self):
+        a = RpnAnchors(response=5, ratios=(0.5, 1.0, 2.0))
+        assert a.boxes.shape == (3, 5, 5, 4)
+
+    def test_center_anchor_at_crop_center(self):
+        a = RpnAnchors(response=5)
+        np.testing.assert_allclose(a.boxes[1, 2, 2, :2], [0.5, 0.5])
+
+    def test_encode_decode_roundtrip(self, rng):
+        a = RpnAnchors(response=5)
+        gt = np.array([0.55, 0.45, 0.3, 0.25])
+        targets = a.encode(gt)
+        # decode using the targets as "predictions"
+        loc = targets.transpose(0, 3, 1, 2).reshape(1, -1, 5, 5)
+        decoded = a.decode(loc)[0]
+        # every anchor, given its own target, reconstructs the GT box
+        np.testing.assert_allclose(
+            decoded.reshape(-1, 4), np.tile(gt, (decoded.size // 4, 1)),
+            atol=1e-9,
+        )
+
+    def test_iou_with_peaks_at_gt_location(self):
+        a = RpnAnchors(response=5)
+        gt = np.array([0.5, 0.5, 0.25, 0.25])
+        ious = a.iou_with(gt)
+        best = np.unravel_index(ious.argmax(), ious.shape)
+        assert best[1:] == (2, 2)  # center cell
+
+    def test_invalid_response(self):
+        with pytest.raises(ValueError):
+            RpnAnchors(response=0)
+
+
+class TestSiamRPNModel:
+    def test_forward_shapes(self, rng):
+        model = _tiny_model()
+        z = Tensor(rng.uniform(size=(2, 3, EXEMPLAR_SIZE, EXEMPLAR_SIZE))
+                   .astype(np.float32))
+        x = Tensor(rng.uniform(size=(2, 3, SEARCH_SIZE, SEARCH_SIZE))
+                   .astype(np.float32))
+        with no_grad():
+            cls, loc = model(z, x)
+        r = model.response
+        assert cls.shape == (2, 3, r, r)
+        assert loc.shape == (2, 12, r, r)
+
+    def test_response_grid_from_strides(self):
+        model = _tiny_model()
+        assert model.response == SEARCH_SIZE // 8 - EXEMPLAR_SIZE // 8 + 1
+
+    def test_tracker_requires_init(self, rng):
+        tracker = SiamRPNTracker(_tiny_model())
+        frame = rng.uniform(size=(3, 48, 48)).astype(np.float32)
+        with pytest.raises(RuntimeError):
+            tracker.track(frame)
+
+    def test_tracker_produces_valid_boxes(self, tiny_tracking_data):
+        tracker = SiamRPNTracker(_tiny_model())
+        seq = tiny_tracking_data[0]
+        tracker.init(seq.frames[0], seq.boxes[0])
+        box = tracker.track(seq.frames[1])
+        assert box.shape == (4,)
+        assert (box >= 0).all() and (box <= 1).all()
+
+
+class TestTrainingAndEval:
+    def test_sample_pairs_shapes(self, tiny_tracking_data, rng):
+        batch = sample_pairs(tiny_tracking_data, 4, rng)
+        assert batch.exemplars.shape == (4, 3, EXEMPLAR_SIZE, EXEMPLAR_SIZE)
+        assert batch.searches.shape == (4, 3, SEARCH_SIZE, SEARCH_SIZE)
+        assert batch.gt_boxes.shape == (4, 4)
+        assert batch.gt_masks is None
+
+    def test_sample_pairs_gt_near_center(self, tiny_tracking_data, rng):
+        """With bounded jitter the target stays inside the search crop."""
+        batch = sample_pairs(tiny_tracking_data, 16, rng)
+        centers = batch.gt_boxes[:, :2]
+        assert (np.abs(centers - 0.5) < 0.45).all()
+
+    def test_sample_pairs_masks_require_mask_data(self, tiny_tracking_data,
+                                                  rng):
+        with pytest.raises(ValueError, match="masks"):
+            sample_pairs(tiny_tracking_data, 2, rng, with_masks=True)
+
+    def test_training_reduces_loss(self, tiny_tracking_data):
+        model = _tiny_model()
+        trainer = SiameseTrainer(
+            model, TrackTrainConfig(steps=12, batch_size=4, lr=2e-3)
+        )
+        losses = trainer.fit(tiny_tracking_data)
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_siammask_training_with_masks(self):
+        data = make_youtubevos(3, seq_len=5, image_hw=(48, 48), seed=5)
+        model = _tiny_model(mask=True)
+        trainer = SiameseTrainer(
+            model, TrackTrainConfig(steps=6, batch_size=4)
+        )
+        losses = trainer.fit(data)
+        assert len(losses) == 6
+        assert np.isfinite(losses).all()
+
+    def test_run_tracker_lengths(self, tiny_tracking_data):
+        preds = run_tracker(SiamRPNTracker(_tiny_model()),
+                            tiny_tracking_data)
+        assert len(preds) == len(tiny_tracking_data)
+        for p, seq in zip(preds, tiny_tracking_data):
+            assert len(p) == len(seq)
+
+    def test_evaluate_tracker_scores(self, tiny_tracking_data):
+        scores = evaluate_tracker(SiamRPNTracker(_tiny_model()),
+                                  tiny_tracking_data)
+        assert 0.0 <= scores.ao <= 1.0
+        assert 0.0 <= scores.sr50 <= 1.0
+
+
+class TestMetrics:
+    def test_ao_and_sr(self):
+        ious = np.array([0.9, 0.6, 0.4, 0.8])
+        assert average_overlap(ious) == pytest.approx(0.675)
+        assert success_rate(ious, 0.5) == pytest.approx(0.75)
+        assert success_rate(ious, 0.75) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_overlap(np.array([]))
+
+    def test_score_tracking_excludes_init_frame(self):
+        gt = [np.tile([0.5, 0.5, 0.2, 0.2], (5, 1))]
+        pred = [gt[0].copy()]
+        pred[0][0] = [0.0, 0.0, 0.01, 0.01]  # ruin the init frame only
+        scores = score_tracking(pred, gt)
+        assert scores.ao == pytest.approx(1.0)
+
+    def test_score_tracking_validates(self):
+        with pytest.raises(ValueError):
+            score_tracking([np.zeros((3, 4))], [])
+
+    def test_tracking_scores_bundle(self):
+        s = TrackingScores(np.array([0.6, 0.8]))
+        assert s.ao == pytest.approx(0.7)
+        assert s.sr50 == 1.0 and s.sr75 == 0.5
+
+
+class TestMaskBits:
+    def test_mask_to_box(self):
+        m = np.zeros((8, 8))
+        m[2:6, 2:4] = 1.0
+        box = mask_to_box(m)
+        np.testing.assert_allclose(box, [0.375, 0.5, 0.25, 0.5])
+
+    def test_mask_to_box_empty(self):
+        assert mask_to_box(np.zeros((4, 4))) is None
+
+    def test_siammask_forward_with_mask(self, rng):
+        model = _tiny_model(mask=True)
+        z = Tensor(rng.uniform(size=(1, 3, EXEMPLAR_SIZE, EXEMPLAR_SIZE))
+                   .astype(np.float32))
+        x = Tensor(rng.uniform(size=(1, 3, SEARCH_SIZE, SEARCH_SIZE))
+                   .astype(np.float32))
+        with no_grad():
+            cls, loc, mask = model.forward_with_mask(z, x)
+        assert mask.shape[0] == 1 and mask.shape[1] == 1
+        assert mask.shape[2] >= 8  # upsampled toward MASK_SIZE
+
+    def test_siammask_tracker_runs(self, tiny_tracking_data):
+        tracker = SiamMaskTracker(_tiny_model(mask=True))
+        seq = tiny_tracking_data[0]
+        tracker.init(seq.frames[0], seq.boxes[0])
+        box = tracker.track(seq.frames[1])
+        assert (box >= 0).all() and (box <= 1).all()
+
+
+class TestSpeedModel:
+    """Tables 8/9 FPS columns (calibration anchors, DESIGN.md §5)."""
+
+    def test_table8_fps_shape(self):
+        from repro.zoo import alexnet_backbone, resnet50
+
+        sm = TrackerSpeedModel()
+        alex = sm.fps(alexnet_backbone(1.0))
+        r50 = sm.fps(resnet50(1.0))
+        sky = sm.fps(SkyNetBackbone("C"))
+        # paper: 52.36 / 25.90 / 41.22
+        assert alex == pytest.approx(52.36, rel=0.10)
+        assert r50 == pytest.approx(25.90, rel=0.10)
+        assert sky == pytest.approx(41.22, rel=0.12)
+        assert alex > sky > r50  # ordering preserved
+
+    def test_skynet_speedup_over_resnet50(self):
+        from repro.zoo import resnet50
+
+        sm = TrackerSpeedModel()
+        speedup = sm.fps(SkyNetBackbone("C")) / sm.fps(resnet50(1.0))
+        assert speedup == pytest.approx(1.60, rel=0.12)  # paper: 1.60x
+
+    def test_table9_mask_overhead(self):
+        from repro.zoo import resnet50
+
+        sm = TrackerSpeedModel()
+        r50 = sm.fps(resnet50(1.0), with_mask=True)
+        sky = sm.fps(SkyNetBackbone("C"), with_mask=True)
+        # paper: 17.44 / 30.15
+        assert r50 == pytest.approx(17.44, rel=0.10)
+        assert sky == pytest.approx(30.15, rel=0.15)
+        assert sky / r50 == pytest.approx(1.73, rel=0.15)  # paper: 1.73x
+
+    def test_mask_branch_always_costs(self):
+        sm = TrackerSpeedModel()
+        bb = SkyNetBackbone("C")
+        assert sm.fps(bb, with_mask=True) < sm.fps(bb)

@@ -1,0 +1,54 @@
+"""Tests for shared utilities: RNG handling and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import default_rng, format_table, seed_all, spawn
+
+
+class TestRng:
+    def test_default_rng_passthrough(self):
+        g = np.random.default_rng(1)
+        assert default_rng(g) is g
+
+    def test_default_rng_shared(self):
+        assert default_rng() is default_rng()
+
+    def test_seed_all_resets_stream(self):
+        seed_all(123)
+        a = default_rng().uniform()
+        seed_all(123)
+        b = default_rng().uniform()
+        assert a == b
+        seed_all(0)  # restore the suite-wide default
+
+    def test_spawn_independent(self):
+        seed_all(7)
+        child1 = spawn()
+        child2 = spawn()
+        assert child1.uniform() != child2.uniform()
+        seed_all(0)
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.34567], ["x", "y"]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        assert "2.346" in out  # 4 significant digits
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="Table 5")
+        assert out.startswith("Table 5")
+
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["long-name-here", 1], ["s", 2]])
+        lines = out.splitlines()
+        # all rows equal width
+        assert len({len(l) for l in lines}) <= 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
