@@ -1,0 +1,107 @@
+"""Observability overhead — the disabled recorder must be (near) free.
+
+The `repro.obs` helpers are called unconditionally from every hot loop
+(`DetectionTrainer.fit`, PSO, the pipeline simulator).  This bench
+verifies the no-op fast path costs <1% of a real training run:
+
+1. micro-time the disabled helpers (`span` / `inc` / `observe`),
+2. count how many helper calls one `fit` actually makes (by running
+   once with a recorder enabled),
+3. bound the disabled-path overhead as calls x per-call cost and
+   compare against the measured fit wall time.
+
+It also reports the enabled-recorder wall time for context.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+import numpy as np
+from common import WIDTH, build_detector, detection_data, print_table
+
+from repro import obs
+from repro.core import SkyNetBackbone
+from repro.detection import DetectionTrainer, TrainConfig
+
+EPOCHS = 4
+
+
+def _fit_once() -> float:
+    """Train a small detector; returns wall seconds."""
+    train, val = detection_data()
+    det = build_detector(
+        SkyNetBackbone("A", width_mult=WIDTH, rng=np.random.default_rng(0))
+    )
+    trainer = DetectionTrainer(
+        det, TrainConfig(epochs=EPOCHS, batch_size=16, augment=False)
+    )
+    t0 = time.perf_counter()
+    trainer.fit(train, val, rng=np.random.default_rng(0))
+    return time.perf_counter() - t0
+
+
+def measure_overhead() -> dict:
+    obs.disable()
+
+    # 1. per-call cost of the disabled helpers
+    n = 100_000
+    span_ns = timeit.timeit(
+        "s = span('x', k=1); s.__enter__(); s.__exit__()",
+        globals={"span": obs.span}, number=n,
+    ) / n * 1e9
+    metric_ns = timeit.timeit(
+        "inc('c'); observe('h', 1.0)",
+        globals={"inc": obs.inc, "observe": obs.observe}, number=n,
+    ) / n * 1e9
+
+    # 2. helper-call count of one fit (spans enter+exit, metric writes)
+    with obs.recording() as rec:
+        enabled_s = _fit_once()
+    n_spans = len(rec.tracer.spans)
+    n_metric_writes = int(
+        rec.metrics.counter("train/batches").value  # one inc per batch
+        + rec.metrics.histogram("train/loss").count
+        + rec.metrics.gauge("train/imgs_per_sec").updates
+        + rec.metrics.gauge("train/val_iou").updates
+    )
+
+    # 3. disabled-path bound vs measured fit time
+    disabled_s = _fit_once()
+    overhead_s = (n_spans * span_ns + n_metric_writes * metric_ns) / 1e9
+    return {
+        "span_ns": span_ns,
+        "metric_ns": metric_ns,
+        "n_spans": n_spans,
+        "n_metric_writes": int(n_metric_writes),
+        "fit_disabled_s": disabled_s,
+        "fit_enabled_s": enabled_s,
+        "overhead_s": overhead_s,
+        "overhead_pct": 100.0 * overhead_s / disabled_s,
+    }
+
+
+def test_disabled_recorder_under_one_percent(benchmark):
+    stats = benchmark.pedantic(measure_overhead, rounds=1, iterations=1)
+    print_table(
+        "obs overhead on DetectionTrainer.fit "
+        f"({EPOCHS} epochs, width {WIDTH})",
+        ["quantity", "value"],
+        [
+            ["disabled span enter+exit", f"{stats['span_ns']:.0f} ns"],
+            ["disabled metric write", f"{stats['metric_ns']:.0f} ns"],
+            ["helper calls per fit",
+             stats["n_spans"] + stats["n_metric_writes"]],
+            ["fit wall time (disabled)", f"{stats['fit_disabled_s']:.2f} s"],
+            ["fit wall time (enabled)", f"{stats['fit_enabled_s']:.2f} s"],
+            ["disabled-path overhead", f"{stats['overhead_pct']:.4f} %"],
+        ],
+    )
+    assert stats["overhead_pct"] < 1.0
+
+
+if __name__ == "__main__":
+    stats = measure_overhead()
+    for k, v in stats.items():
+        print(f"{k}: {v}")

@@ -28,7 +28,7 @@ from repro.detection import (
 )
 from repro.detection.anchors import kmeans_anchors
 from repro.hardware.descriptor import LayerDesc, NetDescriptor
-from repro.utils import format_table
+from repro.utils import print_table  # noqa: F401  (re-export for benches)
 
 # ---- shared budgets ---------------------------------------------------- #
 IMAGE_HW = (48, 96)  # miniature of the contest's 160x360 input
@@ -110,8 +110,3 @@ def tracking_data(seed: int = 1):
 @lru_cache(maxsize=None)
 def tracking_mask_data(seed: int = 2):
     return make_youtubevos(24, seq_len=10, image_hw=(64, 64), seed=seed)
-
-
-def print_table(title: str, headers, rows) -> None:
-    print()
-    print(format_table(headers, rows, title=title))

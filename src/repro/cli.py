@@ -8,6 +8,10 @@ Subcommands cover the library's main workflows without writing code:
 * ``search``   — run the bottom-up design flow at a small budget.
 * ``score``    — recompute the DAC-SDC'19 score tables (Eqs. 2-5).
 * ``dataset``  — generate and save a synthetic dataset archive.
+* ``obs``      — render a JSONL trace written by ``--trace``.
+
+``train`` and ``search`` accept ``--trace PATH`` to record spans and
+metrics (see :mod:`repro.obs`) for later inspection with ``repro obs``.
 """
 
 from __future__ import annotations
@@ -22,8 +26,13 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="SkyNet reproduction toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -36,6 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--images", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="skynet.npz")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record spans/metrics to a JSONL trace file")
 
     p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
     p.add_argument("checkpoint")
@@ -56,10 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--particles", type=int, default=2)
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record spans/metrics to a JSONL trace file")
 
     p = sub.add_parser("score", help="recompute the DAC-SDC'19 tables")
     p.add_argument("--track", default="both",
                    choices=["gpu", "fpga", "both"])
+
+    p = sub.add_parser("obs", help="render a saved JSONL trace")
+    p.add_argument("trace", help="trace file written by --trace")
+    p.add_argument("--max-depth", type=int, default=None,
+                   help="limit the span-tree depth")
 
     p = sub.add_parser("dataset", help="generate a synthetic dataset")
     p.add_argument("--kind", default="dacsdc",
@@ -74,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------- #
 # command implementations
 # --------------------------------------------------------------------- #
+def _maybe_recording(path: str | None):
+    """``obs.recording(path)`` when tracing, else a do-nothing context."""
+    from contextlib import nullcontext
+
+    from . import obs
+
+    return obs.recording(path) if path else nullcontext()
+
+
 def _cmd_train(args) -> int:
     from .core import SkyNetBackbone
     from .datasets import make_dacsdc_splits
@@ -95,10 +122,13 @@ def _cmd_train(args) -> int:
         head=YoloHead(backbone.out_channels, anchors,
                       rng=np.random.default_rng(args.seed + 1)),
     )
-    result = DetectionTrainer(
-        detector,
-        TrainConfig(epochs=args.epochs, batch_size=16, seed=args.seed),
-    ).fit(train, val)
+    with _maybe_recording(args.trace):
+        result = DetectionTrainer(
+            detector,
+            TrainConfig(epochs=args.epochs, batch_size=16, seed=args.seed),
+        ).fit(train, val)
+    if args.trace:
+        print(f"trace written to {args.trace}")
     save_model(detector, args.out)
     meta = {
         "config": args.config,
@@ -191,12 +221,23 @@ def _cmd_search(args) -> int:
         ),
         catalog=BUNDLE_CATALOG[:4],
     )
-    result = flow.run(np.random.default_rng(args.seed))
+    with _maybe_recording(args.trace):
+        result = flow.run(np.random.default_rng(args.seed))
+    if args.trace:
+        print(f"trace written to {args.trace}")
     dna = result.final_dna
     print(f"winner: bundle={dna.bundle.name} channels={dna.channels} "
           f"pools={dna.pool_positions}")
     print(f"stage-3: bypass={dna.bypass} activation={dna.activation}")
     print(f"final IoU: {result.final_iou:.3f}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import load_trace, render_trace
+
+    records = load_trace(args.trace)
+    print(render_trace(records, max_depth=args.max_depth))
     return 0
 
 
@@ -249,6 +290,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "score": _cmd_score,
     "dataset": _cmd_dataset,
+    "obs": _cmd_obs,
 }
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..datasets.dacsdc import DetectionDataset
 from ..detection.metrics import evaluate_detector
 from ..hardware.descriptor import NetDescriptor
@@ -107,18 +108,29 @@ def evaluate_submission(
     utilization:
         Compute-utilization fraction for the power model.
     """
-    iou = evaluate_detector(detector, dataset.images, dataset.boxes)
-    if device.kind == "gpu":
-        lat_model = GpuLatencyModel(device, batch=batch)
-    else:
-        lat_model = FpgaLatencyModel(device, batch=batch)
-    inference_batch_ms = lat_model.network_latency_ms(net)
-    if device.kind == "gpu":
-        single_ms = GpuLatencyModel(device, batch=1).network_latency_ms(net)
-    else:
-        single_ms = FpgaLatencyModel(device, batch=1).network_latency_ms(net)
-    _, fps, _ = system_schedule(inference_batch_ms, single_ms, batch)
-    power = PowerModel(device).power_w(utilization)
+    with obs.span("contest/evaluate", submission=name, device=device.name,
+                  batch=batch) as sp:
+        with obs.span("contest/accuracy", images=len(dataset)):
+            iou = evaluate_detector(detector, dataset.images, dataset.boxes)
+        if device.kind == "gpu":
+            lat_model = GpuLatencyModel(device, batch=batch)
+        else:
+            lat_model = FpgaLatencyModel(device, batch=batch)
+        inference_batch_ms = lat_model.network_latency_ms(net)
+        if device.kind == "gpu":
+            single_ms = GpuLatencyModel(device, batch=1).network_latency_ms(net)
+        else:
+            single_ms = FpgaLatencyModel(device, batch=1).network_latency_ms(net)
+        serial_fps, fps, speedup = system_schedule(
+            inference_batch_ms, single_ms, batch
+        )
+        power = PowerModel(device).power_w(utilization)
+        sp.set(iou=round(float(iou), 4), fps=round(fps, 2))
+    obs.set_gauge("contest/iou", float(iou))
+    obs.set_gauge("contest/fps", fps)
+    obs.set_gauge("contest/serial_fps", serial_fps)
+    obs.set_gauge("contest/system_speedup", speedup)
+    obs.set_gauge("contest/power_w", power)
     return Submission(name=name, iou=float(iou), fps=fps, power_w=power)
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..datasets.dacsdc import DetectionDataset
 from ..detection.head import YoloHead
 from ..detection.model import Detector
@@ -149,23 +150,28 @@ class BottomUpFlow:
         cfg = self.config
         evals: list[BundleEvaluation] = []
         lat_model = FpgaLatencyModel(self.fpga, batch=1)
-        for spec in self.catalog:
-            dna = self.sketch_dna(spec)
-            acc = self.quick_accuracy(dna, cfg.sketch_epochs, rng)
-            net = dna.descriptor(self.input_hw)
-            latency = lat_model.per_frame_latency_ms(net)
-            evals.append(
-                BundleEvaluation(
-                    spec=spec,
-                    accuracy=acc,
-                    latency_ms=latency,
-                    dsp=lat_model.ip_pool.dsp(),
+        with obs.span("flow/stage1", bundles=len(self.catalog)):
+            for spec in self.catalog:
+                with obs.span("flow/stage1/bundle", bundle=spec.name) as sp:
+                    dna = self.sketch_dna(spec)
+                    acc = self.quick_accuracy(dna, cfg.sketch_epochs, rng)
+                    net = dna.descriptor(self.input_hw)
+                    latency = lat_model.per_frame_latency_ms(net)
+                    sp.set(accuracy=round(acc, 4),
+                           latency_ms=round(latency, 3))
+                obs.inc("flow/bundles_evaluated")
+                evals.append(
+                    BundleEvaluation(
+                        spec=spec,
+                        accuracy=acc,
+                        latency_ms=latency,
+                        dsp=lat_model.ip_pool.dsp(),
+                    )
                 )
-            )
-        pts = np.array([[e.accuracy, e.latency_ms] for e in evals])
-        frontier = set(pareto_front(pts, maximize=[True, False]).tolist())
-        for i, e in enumerate(evals):
-            e.on_frontier = i in frontier
+            pts = np.array([[e.accuracy, e.latency_ms] for e in evals])
+            frontier = set(pareto_front(pts, maximize=[True, False]).tolist())
+            for i, e in enumerate(evals):
+                e.on_frontier = i in frontier
         return evals
 
     @staticmethod
@@ -196,7 +202,8 @@ class BottomUpFlow:
             config=self.config.pso,
             input_hw=self.input_hw,
         )
-        return pso.search(rng)
+        with obs.span("flow/stage2", groups=len(bundles)):
+            return pso.search(rng)
 
     # ------------------------------------------------------------------ #
     # Stage 3 + final training
@@ -207,32 +214,41 @@ class BottomUpFlow:
         rng: np.random.Generator | None = None,
     ) -> tuple[CandidateDNA, Detector, float]:
         rng = default_rng(rng)
-        final_dna = apply_feature_addition(dna, self.input_hw, self.fpga)
-        backbone = CandidateNet(final_dna, rng=spawn(rng))
-        detector = Detector(
-            backbone, head=YoloHead(backbone.out_channels, rng=spawn(rng))
-        )
-        trainer = DetectionTrainer(
-            detector,
-            TrainConfig(
-                epochs=self.config.final_epochs,
-                batch_size=self.config.train_batch,
-                augment=True,
-            ),
-        )
-        result = trainer.fit(self.train, self.val, rng=spawn(rng))
+        with obs.span("flow/stage3") as sp:
+            final_dna = apply_feature_addition(dna, self.input_hw, self.fpga)
+            backbone = CandidateNet(final_dna, rng=spawn(rng))
+            detector = Detector(
+                backbone, head=YoloHead(backbone.out_channels, rng=spawn(rng))
+            )
+            trainer = DetectionTrainer(
+                detector,
+                TrainConfig(
+                    epochs=self.config.final_epochs,
+                    batch_size=self.config.train_batch,
+                    augment=True,
+                ),
+            )
+            result = trainer.fit(self.train, self.val, rng=spawn(rng))
+            sp.set(bypass=final_dna.bypass, final_iou=round(result.final_iou, 4))
+        obs.set_gauge("flow/final_iou", result.final_iou)
         return final_dna, detector, result.final_iou
 
     # ------------------------------------------------------------------ #
     def run(self, rng: np.random.Generator | None = None) -> FlowResult:
         """Stages 1 → 2 → 3 end to end."""
         rng = default_rng(rng)
-        evals = self.stage1_select_bundles(rng)
-        bundles = self.selected_bundles(evals, self.config.max_selected_bundles)
-        if not bundles:  # degenerate fallback: keep the best by accuracy
-            bundles = [max(evals, key=lambda e: e.accuracy).spec]
-        search = self.stage2_search(bundles, rng)
-        final_dna, detector, iou = self.stage3_finalize(search.best_dna, rng)
+        with obs.span("flow/run") as sp:
+            evals = self.stage1_select_bundles(rng)
+            bundles = self.selected_bundles(
+                evals, self.config.max_selected_bundles
+            )
+            if not bundles:  # degenerate fallback: keep the best by accuracy
+                bundles = [max(evals, key=lambda e: e.accuracy).spec]
+            search = self.stage2_search(bundles, rng)
+            final_dna, detector, iou = self.stage3_finalize(
+                search.best_dna, rng
+            )
+            sp.set(winner=final_dna.bundle.name, final_iou=round(iou, 4))
         return FlowResult(
             stage1=evals,
             stage2=search,

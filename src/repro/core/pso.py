@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..utils.rng import default_rng
 from .bundles import BundleSpec
 from .fitness import FitnessFunction
@@ -187,11 +188,18 @@ class GroupPSO:
     # ------------------------------------------------------------------ #
     # main loop
     # ------------------------------------------------------------------ #
-    def _evaluate(self, particle: Particle, epochs: int) -> None:
-        acc = self.accuracy_fn(particle.dna, epochs)
-        net = particle.dna.descriptor(self.input_hw)
-        particle.accuracy = acc
-        particle.fitness = self.fitness_fn(acc, net)
+    def _evaluate(
+        self, particle: Particle, epochs: int, group: str = ""
+    ) -> None:
+        with obs.span("pso/evaluate", group=group, epochs=epochs) as sp:
+            acc = self.accuracy_fn(particle.dna, epochs)
+            net = particle.dna.descriptor(self.input_hw)
+            particle.accuracy = acc
+            particle.fitness = self.fitness_fn(acc, net)
+            sp.set(fitness=round(particle.fitness, 5))
+        obs.inc("pso/candidates_evaluated")
+        obs.observe("pso/fitness", particle.fitness)
+        obs.observe("pso/accuracy", acc)
 
     def search(self, rng: np.random.Generator | None = None) -> SearchResult:
         """Run the full Algorithm 1 loop."""
@@ -202,40 +210,60 @@ class GroupPSO:
         global_best: Particle | None = None
         history: list[dict] = []
 
-        for itr in range(cfg.iterations):
-            epochs = cfg.epochs_base + itr * cfg.epochs_step
-            # Fast_training + Performance_estimation over the population
-            for particles in groups.values():
-                for p in particles:
-                    self._evaluate(p, epochs)
-            # Group_best / particle updates
-            for name, particles in groups.items():
-                best = max(particles, key=lambda p: p.fitness)
-                prev = group_bests.get(name)
-                if prev is None or best.fitness > prev.fitness:
-                    group_bests[name] = Particle(
-                        best.dna, best.fitness, best.accuracy
+        search_sp = obs.span(
+            "pso/search",
+            groups=len(groups),
+            particles_per_group=cfg.particles_per_group,
+            iterations=cfg.iterations,
+        )
+        with search_sp as ssp:
+            for itr in range(cfg.iterations):
+                epochs = cfg.epochs_base + itr * cfg.epochs_step
+                with obs.span("pso/iteration", iteration=itr,
+                              epochs=epochs) as isp:
+                    # Fast_training + Performance_estimation
+                    for name, particles in groups.items():
+                        for p in particles:
+                            self._evaluate(p, epochs, group=name)
+                    # Group_best / particle updates
+                    for name, particles in groups.items():
+                        best = max(particles, key=lambda p: p.fitness)
+                        prev = group_bests.get(name)
+                        if prev is None or best.fitness > prev.fitness:
+                            group_bests[name] = Particle(
+                                best.dna, best.fitness, best.accuracy
+                            )
+                        gbest = group_bests[name]
+                        groups[name] = [
+                            self.evolve_particle(p, gbest, rng)
+                            for p in particles
+                        ]
+                    # Global_best
+                    itr_best = max(
+                        group_bests.values(), key=lambda p: p.fitness
                     )
-                gbest = group_bests[name]
-                groups[name] = [
-                    self.evolve_particle(p, gbest, rng) for p in particles
-                ]
-            # Global_best
-            itr_best = max(group_bests.values(), key=lambda p: p.fitness)
-            if global_best is None or itr_best.fitness > global_best.fitness:
-                global_best = Particle(
-                    itr_best.dna, itr_best.fitness, itr_best.accuracy
+                    if (
+                        global_best is None
+                        or itr_best.fitness > global_best.fitness
+                    ):
+                        global_best = Particle(
+                            itr_best.dna, itr_best.fitness, itr_best.accuracy
+                        )
+                    isp.set(best_fitness=round(global_best.fitness, 5))
+                obs.set_gauge("pso/fitness_best", global_best.fitness)
+                history.append(
+                    {
+                        "iteration": itr,
+                        "epochs": epochs,
+                        "global_best_fitness": global_best.fitness,
+                        "group_fitness": {
+                            n: p.fitness for n, p in group_bests.items()
+                        },
+                    }
                 )
-            history.append(
-                {
-                    "iteration": itr,
-                    "epochs": epochs,
-                    "global_best_fitness": global_best.fitness,
-                    "group_fitness": {
-                        n: p.fitness for n, p in group_bests.items()
-                    },
-                }
-            )
+            assert global_best is not None
+            ssp.set(best_fitness=round(global_best.fitness, 5),
+                    best_bundle=global_best.dna.bundle.name)
 
         assert global_best is not None
         return SearchResult(

@@ -10,10 +10,12 @@ loop with a small ``epochs``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..datasets.augment import augment_batch, multiscale_size, resize_bilinear
 from ..datasets.dacsdc import DetectionDataset
 from ..nn import Tensor
@@ -105,40 +107,63 @@ class DetectionTrainer:
         result = TrainResult()
         self.detector.train()
 
-        for epoch in range(cfg.epochs):
-            epoch_loss = 0.0
-            n_batches = 0
-            for images, boxes in train.iter_batches(cfg.batch_size, rng):
-                if cfg.augment:
-                    images, boxes = augment_batch(images, boxes, rng)
-                if cfg.multiscale:
-                    hw = multiscale_size(
-                        train.image_hw, rng, cfg.multiscale_scales,
-                        divisor=getattr(self.detector.backbone, "stride", 8),
-                    )
-                    images = resize_bilinear(images, hw)
-                raw = self.detector(Tensor(images))
-                loss = self.loss_fn(raw, boxes)
-                self.detector.zero_grad()
-                loss.backward()
-                opt.step()
-                if sched is not None:
-                    sched.step()
-                epoch_loss += loss.item()
-                n_batches += 1
-            result.losses.append(epoch_loss / n_batches)
-            if (
-                val is not None
-                and cfg.eval_every
-                and (epoch + 1) % cfg.eval_every == 0
-            ):
-                iou = evaluate_detector(self.detector, val.images, val.boxes)
-                result.val_ious.append((epoch, iou))
-                self.detector.train()
+        with obs.span("train/fit", epochs=cfg.epochs,
+                      batch_size=cfg.batch_size, images=len(train)) as fit_sp:
+            for epoch in range(cfg.epochs):
+                epoch_loss = 0.0
+                n_batches = 0
+                n_images = 0
+                t_epoch = time.perf_counter()
+                with obs.span("train/epoch", epoch=epoch):
+                    for images, boxes in train.iter_batches(
+                        cfg.batch_size, rng
+                    ):
+                        if cfg.augment:
+                            images, boxes = augment_batch(images, boxes, rng)
+                        if cfg.multiscale:
+                            hw = multiscale_size(
+                                train.image_hw, rng, cfg.multiscale_scales,
+                                divisor=getattr(
+                                    self.detector.backbone, "stride", 8
+                                ),
+                            )
+                            images = resize_bilinear(images, hw)
+                        raw = self.detector(Tensor(images))
+                        loss = self.loss_fn(raw, boxes)
+                        self.detector.zero_grad()
+                        loss.backward()
+                        opt.step()
+                        if sched is not None:
+                            sched.step()
+                        epoch_loss += loss.item()
+                        n_batches += 1
+                        n_images += len(images)
+                        obs.inc("train/batches")
+                dt = time.perf_counter() - t_epoch
+                mean_loss = epoch_loss / n_batches
+                result.losses.append(mean_loss)
+                obs.observe("train/loss", mean_loss)
+                obs.set_gauge("train/imgs_per_sec",
+                              n_images / dt if dt else 0.0)
+                if (
+                    val is not None
+                    and cfg.eval_every
+                    and (epoch + 1) % cfg.eval_every == 0
+                ):
+                    with obs.span("train/eval", epoch=epoch):
+                        iou = evaluate_detector(
+                            self.detector, val.images, val.boxes
+                        )
+                    result.val_ious.append((epoch, iou))
+                    obs.set_gauge("train/val_iou", iou)
+                    self.detector.train()
 
-        if val is not None:
-            result.final_iou = evaluate_detector(
-                self.detector, val.images, val.boxes
-            )
+            if val is not None:
+                with obs.span("train/eval", final=True):
+                    result.final_iou = evaluate_detector(
+                        self.detector, val.images, val.boxes
+                    )
+                obs.set_gauge("train/val_iou", result.final_iou)
+                fit_sp.set(final_iou=round(result.final_iou, 4))
         self.detector.eval()
         return result

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
+
 __all__ = ["Stage", "PipelineSimulator", "PipelineResult"]
 
 
@@ -80,56 +82,72 @@ class PipelineSimulator:
         self.batch = batch
         self.sync_overhead_ms = sync_overhead_ms
 
+    def _record(self, schedule: str, result: PipelineResult) -> None:
+        """Mirror a simulation outcome into the metrics registry
+        (matches the paper's Fig. 10 per-stage FPS accounting)."""
+        obs.set_gauge(f"pipeline/{schedule}_fps", result.fps)
+        for name, util in result.stage_utilization.items():
+            obs.set_gauge(f"pipeline/{schedule}_util/{name}", util)
+
     # ------------------------------------------------------------------ #
     def run_serial(self, n_batches: int) -> PipelineResult:
         """All stages execute back-to-back for each batch."""
-        per_batch = sum(s.latency_ms for s in self.stages)
-        makespan = per_batch * n_batches
-        frames = n_batches * self.batch
-        util = {
-            s.name: (s.latency_ms / per_batch if per_batch else 0.0)
-            for s in self.stages
-        }
-        slowest = max(self.stages, key=lambda s: s.latency_ms)
-        return PipelineResult(
-            makespan_ms=makespan,
-            fps=frames / makespan * 1e3 if makespan else float("inf"),
-            bottleneck=slowest.name,
-            stage_utilization=util,
-        )
+        with obs.span("pipeline/run", schedule="serial",
+                      n_batches=n_batches, stages=len(self.stages)):
+            per_batch = sum(s.latency_ms for s in self.stages)
+            makespan = per_batch * n_batches
+            frames = n_batches * self.batch
+            util = {
+                s.name: (s.latency_ms / per_batch if per_batch else 0.0)
+                for s in self.stages
+            }
+            slowest = max(self.stages, key=lambda s: s.latency_ms)
+            result = PipelineResult(
+                makespan_ms=makespan,
+                fps=frames / makespan * 1e3 if makespan else float("inf"),
+                bottleneck=slowest.name,
+                stage_utilization=util,
+            )
+        self._record("serial", result)
+        return result
 
     def run_pipelined(self, n_batches: int) -> PipelineResult:
         """Overlapped schedule via the pipeline recurrence."""
-        n_stages = len(self.stages)
-        lat = [s.latency_ms + self.sync_overhead_ms for s in self.stages]
-        finish = [0.0] * n_stages  # finish time of the last batch per stage
-        busy = [0.0] * n_stages
-        prev_done = 0.0
-        for _ in range(n_batches):
+        with obs.span("pipeline/run", schedule="pipelined",
+                      n_batches=n_batches, stages=len(self.stages)):
+            n_stages = len(self.stages)
+            lat = [s.latency_ms + self.sync_overhead_ms for s in self.stages]
+            finish = [0.0] * n_stages  # finish time of the last batch per stage
+            busy = [0.0] * n_stages
             prev_done = 0.0
-            for s in range(n_stages):
-                start = max(finish[s], prev_done)
-                finish[s] = start + lat[s]
-                busy[s] += lat[s]
-                prev_done = finish[s]
-        makespan = prev_done
-        frames = n_batches * self.batch
-        util = {
-            s.name: (busy[i] / makespan if makespan else 0.0)
-            for i, s in enumerate(self.stages)
-        }
-        slowest = max(self.stages, key=lambda s: s.latency_ms)
-        return PipelineResult(
-            makespan_ms=makespan,
-            fps=frames / makespan * 1e3 if makespan else float("inf"),
-            bottleneck=slowest.name,
-            stage_utilization=util,
-        )
+            for _ in range(n_batches):
+                prev_done = 0.0
+                for s in range(n_stages):
+                    start = max(finish[s], prev_done)
+                    finish[s] = start + lat[s]
+                    busy[s] += lat[s]
+                    prev_done = finish[s]
+            makespan = prev_done
+            frames = n_batches * self.batch
+            util = {
+                s.name: (busy[i] / makespan if makespan else 0.0)
+                for i, s in enumerate(self.stages)
+            }
+            slowest = max(self.stages, key=lambda s: s.latency_ms)
+            result = PipelineResult(
+                makespan_ms=makespan,
+                fps=frames / makespan * 1e3 if makespan else float("inf"),
+                bottleneck=slowest.name,
+                stage_utilization=util,
+            )
+        self._record("pipelined", result)
+        return result
 
     def speedup(self, n_batches: int = 256) -> float:
         """Pipelined over serial throughput ratio."""
         serial = self.run_serial(n_batches)
         piped = self.run_pipelined(n_batches)
+        obs.set_gauge("pipeline/speedup", piped.fps / serial.fps)
         return piped.fps / serial.fps
 
     def steady_state_fps(self) -> float:

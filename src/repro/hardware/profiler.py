@@ -35,7 +35,11 @@ class NetworkProfile:
     def param_ratio(self, other: "NetworkProfile") -> float:
         """How many times more parameters ``other`` has than ``self``."""
         if self.params == 0:
-            raise ZeroDivisionError("profile has zero parameters")
+            raise ValueError(
+                f"cannot compute a parameter ratio against profile "
+                f"{self.name!r}: it has zero parameters (was the "
+                f"descriptor built from an empty layer list?)"
+            )
         return other.params / self.params
 
 

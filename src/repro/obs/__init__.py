@@ -1,0 +1,64 @@
+"""``repro.obs`` — structured tracing, metrics, and layer profiling.
+
+The paper's whole method is a measured design loop (per-stage latency,
+per-iteration fitness, deployment FPS); this package is the substrate
+that makes those measurements first-class in the reproduction:
+
+* **Spans** — ``with obs.span("pso/iteration", iteration=i): ...``
+  nest per thread, time under the monotonic clock, and export to JSONL
+  or an indented tree report (``repro obs trace.jsonl``).
+* **Metrics** — counters, gauges, and quantile histograms through
+  :func:`inc`, :func:`set_gauge`, :func:`observe`.
+* **Layer timing** — :class:`LayerTimer` hooks any model and produces a
+  per-layer time/call table, the measured complement of the static
+  MAC counts in :mod:`repro.hardware.profiler`.
+
+All helpers route through one global recorder that defaults to **off**:
+with no recorder installed each call is a global read + early return,
+so instrumented hot loops pay effectively nothing.  Enable with
+:func:`enable` / :func:`recording`, or the ``--trace`` CLI flags.
+"""
+
+from .layer_timer import LayerTimer
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    Recorder,
+    disable,
+    enable,
+    enabled,
+    get_recorder,
+    inc,
+    load_trace,
+    observe,
+    recording,
+    render_trace,
+    set_gauge,
+    set_recorder,
+    span,
+)
+from .trace import Span, Tracer, aggregate_spans, render_span_tree
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "render_span_tree",
+    "aggregate_spans",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Recorder",
+    "get_recorder",
+    "set_recorder",
+    "enable",
+    "disable",
+    "enabled",
+    "recording",
+    "span",
+    "inc",
+    "set_gauge",
+    "observe",
+    "load_trace",
+    "render_trace",
+    "LayerTimer",
+]

@@ -1,0 +1,145 @@
+"""Per-layer wall-clock profiling via module forward hooks.
+
+The static :mod:`repro.hardware.profiler` counts parameters and MACs
+from layer descriptors; :class:`LayerTimer` complements it with
+*measured* time by attaching pre/post forward hooks to every leaf
+module of a live model.  Use it as a context manager::
+
+    with LayerTimer(detector) as timer:
+        detector(Tensor(images))
+    print(timer.table())
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..nn.module import Module
+
+__all__ = ["LayerTimer"]
+
+
+class LayerTimer:
+    """Measure per-layer forward time over any :class:`Module` tree.
+
+    Parameters
+    ----------
+    model:
+        Root module; hooks are attached on :meth:`attach` (or context
+        entry) and removed on :meth:`detach` (or exit).
+    leaves_only:
+        Time only modules without children (default) so parent totals
+        are not double-counted; set ``False`` to time every module.
+    """
+
+    def __init__(self, model: Module, leaves_only: bool = True) -> None:
+        self.model = model
+        self.leaves_only = leaves_only
+        self._handles: list = []
+        self._starts: dict[int, list[float]] = {}
+        # name -> [calls, total_ms]; insertion order = first-call order
+        self.stats: dict[str, list[float]] = {}
+        self._types: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def _targets(self) -> list[tuple[str, Module]]:
+        named = list(self.model.named_modules())
+        if not self.leaves_only:
+            return named
+        return [(n, m) for n, m in named if not m._modules]
+
+    def attach(self) -> "LayerTimer":
+        if self._handles:
+            raise RuntimeError("LayerTimer is already attached")
+        for name, module in self._targets():
+            label = name or "(root)"
+            self._types.setdefault(label, type(module).__name__)
+            self._handles.append(
+                module.register_forward_pre_hook(self._make_pre(module))
+            )
+            self._handles.append(
+                module.register_forward_hook(self._make_post(label, module))
+            )
+        return self
+
+    def detach(self) -> None:
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+        self._starts.clear()
+
+    def __enter__(self) -> "LayerTimer":
+        return self.attach()
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------ #
+    def _make_pre(self, module: Module):
+        def pre_hook(mod, inputs):
+            # stack per module id: tolerates recursive/shared submodules
+            self._starts.setdefault(id(module), []).append(
+                time.perf_counter()
+            )
+
+        return pre_hook
+
+    def _make_post(self, label: str, module: Module):
+        def post_hook(mod, inputs, output):
+            stack = self._starts.get(id(module))
+            if not stack:
+                return
+            dt_ms = (time.perf_counter() - stack.pop()) * 1e3
+            entry = self.stats.setdefault(label, [0, 0.0])
+            entry[0] += 1
+            entry[1] += dt_ms
+
+        return post_hook
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        self.stats.clear()
+
+    @property
+    def total_ms(self) -> float:
+        return sum(total for _, total in self.stats.values())
+
+    def rows(self) -> list[dict]:
+        """Per-layer records sorted by total time, heaviest first."""
+        total = self.total_ms or 1.0
+        rows = [
+            {
+                "layer": label,
+                "type": self._types.get(label, "?"),
+                "calls": int(calls),
+                "total_ms": total_ms,
+                "mean_ms": total_ms / calls if calls else 0.0,
+                "share": total_ms / total,
+            }
+            for label, (calls, total_ms) in self.stats.items()
+        ]
+        rows.sort(key=lambda r: -r["total_ms"])
+        return rows
+
+    def table(self) -> str:
+        """Fixed-width per-layer time/call table."""
+        from ..utils.tables import format_table
+
+        rows = self.rows()
+        if not rows:
+            return "(no timed calls)"
+        return format_table(
+            ["layer", "type", "calls", "total ms", "mean ms", "share"],
+            [
+                [
+                    r["layer"],
+                    r["type"],
+                    r["calls"],
+                    f"{r['total_ms']:.3f}",
+                    f"{r['mean_ms']:.3f}",
+                    f"{100 * r['share']:.1f}%",
+                ]
+                for r in rows
+            ],
+            title=f"per-layer forward time ({self.total_ms:.2f} ms total)",
+        )

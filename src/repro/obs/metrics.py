@@ -1,0 +1,178 @@
+"""Metrics registry: counters, gauges, and quantile histograms.
+
+Instruments in this module are cheap append/assign operations so the
+hot loops (training batches, PSO evaluations) can record freely; the
+expensive work — sorting for quantiles, table rendering — happens only
+when a summary is requested.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic event count (e.g. ``pso/candidates_evaluated``)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def record(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value (e.g. ``train/imgs_per_sec``)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def record(self) -> dict:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Streaming sample store with quantile summaries (e.g. ``loss``)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the recorded samples."""
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        ordered = sorted(self.values)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[int(idx)]
+
+    def summary(self) -> dict:
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        n = len(ordered)
+
+        def q(p: float) -> float:
+            return ordered[min(n - 1, max(0, round(p * (n - 1))))]
+
+        return {
+            "count": n,
+            "mean": sum(ordered) / n,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": q(0.50),
+            "p90": q(0.90),
+            "p99": q(0.99),
+        }
+
+    def record(self) -> dict:
+        return {"type": "histogram", "name": self.name, **self.summary()}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    Asking for an existing name with a different instrument kind is an
+    error — silently returning the wrong type would corrupt both.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def records(self) -> list[dict]:
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        return [m.record() for m in metrics]
+
+    def export_jsonl(self, fh) -> None:
+        for rec in self.records():
+            fh.write(json.dumps(rec, default=str) + "\n")
+
+    def render(self) -> str:
+        """Fixed-width summary table of every instrument."""
+        from ..utils.tables import format_table
+
+        rows = []
+        for rec in self.records():
+            if rec["type"] == "histogram":
+                if rec["count"] == 0:
+                    detail = "no samples"
+                else:
+                    detail = (
+                        f"mean={rec['mean']:.4g} p50={rec['p50']:.4g} "
+                        f"p90={rec['p90']:.4g} max={rec['max']:.4g}"
+                    )
+                rows.append([rec["name"], "histogram",
+                             rec.get("count", 0), detail])
+            elif rec["type"] == "counter":
+                rows.append([rec["name"], "counter", "", f"{rec['value']:g}"])
+            else:
+                value = rec["value"]
+                detail = "unset" if value is None else f"{value:.6g}"
+                rows.append([rec["name"], "gauge", rec["updates"], detail])
+        if not rows:
+            return "(no metrics)"
+        return format_table(["metric", "kind", "n", "value"], rows)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..datasets.augment import resize_bilinear
 from ..datasets.got10k import TrackingDataset
 from ..nn import Tensor
@@ -205,14 +206,21 @@ class SiameseTrainer:
         opt = Adam(self.model.parameters(), lr=cfg.lr)
         losses = []
         self.model.train()
-        for _ in range(cfg.steps):
-            batch = sample_pairs(
-                dataset, cfg.batch_size, rng, with_masks=self.is_mask
-            )
-            loss = self.loss(batch)
-            self.model.zero_grad()
-            loss.backward()
-            opt.step()
-            losses.append(loss.item())
+        model_kind = type(self.model).__name__
+        with obs.span("track/fit", steps=cfg.steps,
+                      batch_size=cfg.batch_size, model=model_kind) as sp:
+            for step in range(cfg.steps):
+                batch = sample_pairs(
+                    dataset, cfg.batch_size, rng, with_masks=self.is_mask
+                )
+                loss = self.loss(batch)
+                self.model.zero_grad()
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+                obs.observe("track/loss", losses[-1])
+                obs.inc("track/steps")
+            if losses:
+                sp.set(final_loss=round(losses[-1], 5))
         self.model.eval()
         return losses

@@ -1,14 +1,18 @@
 """Plain-text table rendering for benchmark harness output.
 
 Benchmarks print the same rows the paper's tables report; this module
-keeps the formatting consistent across all of them.
+keeps the formatting consistent across all of them.  :func:`print_table`
+additionally mirrors every numeric cell into the global metrics
+recorder (when one is enabled), so a bench run under ``obs.recording``
+leaves a machine-readable copy of each printed table.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "print_table"]
 
 
 def _render(value) -> str:
@@ -55,3 +59,36 @@ def format_table(
     lines.append(sep)
     lines.extend(fmt_row(r) for r in cells)
     return "\n".join(lines)
+
+
+def _slug(text: str) -> str:
+    """Metric-name-safe version of a title/header/row label."""
+    return re.sub(r"[^a-z0-9]+", "_", str(text).lower()).strip("_") or "_"
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print a table (blank line above) and emit its numeric cells.
+
+    The shared helper behind every ``benchmarks/bench_*.py`` table.
+    When a global :mod:`repro.obs` recorder is enabled each numeric
+    cell becomes a gauge named ``bench/<title>/<row>/<column>``; with
+    observability off this is just a print.
+    """
+    print()
+    print(format_table(headers, rows, title=title))
+
+    from .. import obs  # deferred: utils must stay import-light
+
+    if not obs.enabled():
+        return
+    for row in rows:
+        row = list(row)
+        label = _slug(row[0]) if row else "_"
+        for header, cell in zip(headers[1:], row[1:]):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            obs.set_gauge(
+                f"bench/{_slug(title)}/{label}/{_slug(header)}", cell
+            )

@@ -351,10 +351,34 @@ class TestProfiler:
         # the headline claim direction: ResNet-50 is tens of times larger
         assert rows[1]["params_vs_base"] > 30
 
+    def test_param_ratio(self):
+        from repro.hardware.profiler import NetworkProfile
+
+        p = NetworkProfile("small", 10, 0, 0, 0)
+        q = NetworkProfile("big", 370, 0, 0, 0)
+        assert p.param_ratio(q) == pytest.approx(37.0)
+
     def test_param_ratio_zero_guard(self):
         from repro.hardware.profiler import NetworkProfile
 
         p = NetworkProfile("x", 0, 0, 0, 0)
         q = NetworkProfile("y", 10, 0, 0, 0)
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(ValueError, match="zero parameters"):
             p.param_ratio(q)
+
+    def test_compare_networks_direct(self):
+        """compare_networks on hand-built descriptors (no bench needed)."""
+        from repro.hardware.descriptor import LayerDesc, NetDescriptor
+
+        small = NetDescriptor(
+            [LayerDesc("conv", 3, 8, 16, 16, kernel=3)], name="small"
+        )
+        big = NetDescriptor(
+            [LayerDesc("conv", 3, 8, 16, 16, kernel=3)] * 4, name="big"
+        )
+        rows = compare_networks([small, big], baseline=0)
+        assert [r["name"] for r in rows] == ["small", "big"]
+        assert rows[0]["params_vs_base"] == pytest.approx(1.0)
+        assert rows[1]["params_vs_base"] == pytest.approx(4.0)
+        assert rows[1]["macs_vs_base"] == pytest.approx(4.0)
+        assert rows[1]["gmacs"] == pytest.approx(4 * rows[0]["gmacs"])
