@@ -7,6 +7,7 @@ Subcommands cover the library's main workflows without writing code:
 * ``profile``  — layer/MAC/latency profile of any backbone on TX2+Ultra96.
 * ``search``   — run the bottom-up design flow at a small budget.
 * ``score``    — recompute the DAC-SDC'19 score tables (Eqs. 2-5).
+* ``infer``    — timed batch inference via the eager or compiled engine.
 * ``dataset``  — generate and save a synthetic dataset archive.
 * ``obs``      — render a JSONL trace written by ``--trace``.
 
@@ -73,6 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("score", help="recompute the DAC-SDC'19 tables")
     p.add_argument("--track", default="both",
                    choices=["gpu", "fpga", "both"])
+
+    p = sub.add_parser(
+        "infer", help="run timed batch inference (eager or compiled engine)"
+    )
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint from `repro train`; a fresh random "
+                        "SkyNet is used when omitted")
+    p.add_argument("--engine", default="compiled",
+                   choices=["eager", "compiled"])
+    p.add_argument("--config", default="C", choices=["A", "B", "C"],
+                   help="SkyNet config when no checkpoint is given")
+    p.add_argument("--width", type=float, default=0.25,
+                   help="width multiplier when no checkpoint is given")
+    p.add_argument("--images", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pipeline", action="store_true",
+                   help="run the 4-stage threaded pipeline (fetch, "
+                        "pre-process, DNN, post-process) and compare "
+                        "with the analytic simulator")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record spans/metrics to a JSONL trace file")
 
     p = sub.add_parser("obs", help="render a saved JSONL trace")
     p.add_argument("trace", help="trace file written by --trace")
@@ -233,6 +255,75 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_infer(args) -> int:
+    import time
+
+    from .core import SkyNetBackbone
+    from .datasets import make_dacsdc
+    from .detection import Detector
+    from .detection.head import best_box
+    from .nn import Tensor, no_grad
+
+    if args.checkpoint:
+        detector, _ = _load_checkpoint(args.checkpoint)
+    else:
+        detector = Detector(SkyNetBackbone(
+            args.config, width_mult=args.width,
+            rng=np.random.default_rng(args.seed),
+        ))
+    detector.eval()
+    ds = make_dacsdc(args.images, image_hw=(48, 96), seed=args.seed)
+
+    with _maybe_recording(args.trace):
+        if args.engine == "compiled":
+            t0 = time.perf_counter()
+            net = detector.compile()
+            compile_ms = (time.perf_counter() - t0) * 1e3
+            print(f"compiled {len(net)} kernels in {compile_ms:.1f} ms")
+
+            def forward(batch):
+                return net(batch)
+        else:
+            def forward(batch):
+                with no_grad():
+                    return detector(Tensor(batch)).data
+
+        frames = [ds.images[i : i + 1] for i in range(len(ds.images))]
+        forward(frames[0])  # warm up buffers / BLAS
+        if args.pipeline:
+            from .nn.engine import ThreadedPipeline
+
+            mean = np.float32(0.5)
+            pipe = ThreadedPipeline([
+                ("fetch", lambda f: np.array(f, dtype=np.float32)),
+                ("pre-process", lambda f: f - mean),
+                ("dnn", forward),
+                ("post-process",
+                 lambda raw: best_box(raw, detector.head.anchors)),
+            ])
+            boxes = pipe.run(frames)
+            print(f"pipelined: {len(boxes)} frames in {pipe.wall_ms:.1f} ms "
+                  f"({pipe.fps:.1f} FPS)")
+            for name, ms in pipe.stage_ms.items():
+                print(f"  {name:<13}{ms:7.2f} ms/frame")
+            sim = pipe.to_simulator()
+            serial = sim.run_serial(len(frames))
+            piped = sim.run_pipelined(len(frames))
+            print(f"simulator: serial {serial.fps:.1f} FPS, pipelined "
+                  f"{piped.fps:.1f} FPS (bottleneck: {piped.bottleneck})")
+        else:
+            t0 = time.perf_counter()
+            for frame in frames:
+                best_box(forward(frame - np.float32(0.5)),
+                         detector.head.anchors)
+            wall = time.perf_counter() - t0
+            print(f"{args.engine}: {len(frames)} frames in "
+                  f"{wall * 1e3:.1f} ms ({len(frames) / wall:.1f} FPS)")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from .obs import load_trace, render_trace
 
@@ -289,6 +380,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "search": _cmd_search,
     "score": _cmd_score,
+    "infer": _cmd_infer,
     "dataset": _cmd_dataset,
     "obs": _cmd_obs,
 }

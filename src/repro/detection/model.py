@@ -28,6 +28,7 @@ class Detector(Module):
         super().__init__()
         self.backbone = backbone
         self.head = head if head is not None else YoloHead(backbone.out_channels)
+        self._compiled = None
 
     @property
     def anchors(self) -> np.ndarray:
@@ -37,14 +38,47 @@ class Detector(Module):
         """Raw grid predictions (N, K*5, GH, GW)."""
         return self.head(self.backbone(x))
 
-    def predict(self, images: np.ndarray) -> np.ndarray:
-        """Inference: (N, 3, H, W) images -> (N, 4) cxcywh boxes."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                raw = self.forward(Tensor(images)).data
-        finally:
+    def train(self, mode: bool = True) -> "Detector":
+        # Compiled plans snapshot the weights; any return to training
+        # invalidates the snapshot, so drop it and recompile on demand.
+        if mode:
+            self._compiled = None
+        return super().train(mode)
+
+    def compile(self, arena=None):
+        """Compile the eval-mode forward into a
+        :class:`repro.nn.engine.CompiledNet` (cached until :meth:`train`)."""
+        if self._compiled is None:
+            from ..nn.engine import compile_net
+
+            was_training = self.training
+            self.eval()
+            net = compile_net(
+                self, name=type(self.backbone).__name__, arena=arena
+            )
             if was_training:
-                self.train()
+                self.train()  # clears the cache; reassign below
+            self._compiled = net
+        return self._compiled
+
+    def predict(self, images: np.ndarray, engine: str = "eager") -> np.ndarray:
+        """Inference: (N, 3, H, W) images -> (N, 4) cxcywh boxes.
+
+        ``engine='compiled'`` routes the forward through the fused
+        inference plan from :meth:`compile` instead of the autograd
+        substrate; outputs match to float32 round-off.
+        """
+        if engine == "compiled":
+            raw = self.compile()(images)
+        elif engine == "eager":
+            was_training = self.training
+            self.eval()
+            try:
+                with no_grad():
+                    raw = self.forward(Tensor(images)).data
+            finally:
+                if was_training:
+                    self.train()
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
         return best_box(raw, self.head.anchors)

@@ -82,6 +82,26 @@ class PipelineSimulator:
         self.batch = batch
         self.sync_overhead_ms = sync_overhead_ms
 
+    @classmethod
+    def from_measurements(
+        cls,
+        stage_ms: dict[str, float] | list[tuple[str, float]],
+        batch: int = 1,
+        sync_overhead_ms: float = 0.0,
+    ) -> "PipelineSimulator":
+        """Build a simulator from measured per-stage latencies.
+
+        ``stage_ms`` maps stage name to per-batch milliseconds (dict
+        order is the stage order), as produced by
+        :attr:`repro.nn.engine.ThreadedPipeline.stage_ms`.  This closes
+        the loop between the executable pipeline and the analytic model:
+        measure real threads, then explore schedules (merges, batch
+        sizes) analytically.
+        """
+        items = stage_ms.items() if isinstance(stage_ms, dict) else stage_ms
+        stages = [Stage(name, float(ms)) for name, ms in items]
+        return cls(stages, batch=batch, sync_overhead_ms=sync_overhead_ms)
+
     def _record(self, schedule: str, result: PipelineResult) -> None:
         """Mirror a simulation outcome into the metrics registry
         (matches the paper's Fig. 10 per-stage FPS accounting)."""

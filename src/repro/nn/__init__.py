@@ -6,7 +6,7 @@ serialization.  Every model in this reproduction — SkyNet itself, the
 baseline backbone zoo, and the Siamese trackers — is built on it.
 """
 
-from . import functional, init, layers, optim
+from . import engine, functional, init, layers, optim
 from .gradcheck import gradcheck, numerical_gradient
 from .module import Module, ModuleList, Parameter, Sequential
 from .serialization import load_model, save_model
@@ -20,6 +20,7 @@ __all__ = [
     "ModuleList",
     "Parameter",
     "Sequential",
+    "engine",
     "functional",
     "init",
     "layers",

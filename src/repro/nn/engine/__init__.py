@@ -1,0 +1,32 @@
+"""``repro.nn.engine`` — compiled inference engine for the forward path.
+
+The training substrate (:mod:`repro.nn`) runs every op through the
+autograd :class:`~repro.nn.tensor.Tensor`; that is the right tool for
+the design loop but pure overhead at deployment time, where the paper's
+headline numbers are throughput (67.33 FPS TX2 / 25.05 FPS Ultra96).
+This package provides the ahead-of-time alternative:
+
+* :func:`compile_net` — walk a trained module, fold eval-mode BatchNorm
+  into conv weights, fuse each Bundle's DWConv3x3 -> PWConv1x1 -> act
+  chain into one kernel, and emit a flat :class:`CompiledNet` plan.
+* :class:`BufferArena` — shape-keyed buffer pool so im2col columns and
+  activation maps are reused across frames (static deployment shapes).
+* :class:`ThreadedPipeline` — real threaded stage pipeline mirroring
+  the paper's 4-stage TX2 schedule, exportable to the analytic
+  :class:`~repro.hardware.pipeline.PipelineSimulator`.
+
+Compiled plans implement the eval-mode forward only and snapshot the
+weights at compile time: retrain, then recompile.
+"""
+
+from .arena import BufferArena
+from .compiler import CompiledNet, CompileError, compile_net
+from .runner import ThreadedPipeline
+
+__all__ = [
+    "BufferArena",
+    "CompiledNet",
+    "CompileError",
+    "compile_net",
+    "ThreadedPipeline",
+]

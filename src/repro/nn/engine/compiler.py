@@ -1,0 +1,442 @@
+"""Ahead-of-time compiler: Module tree -> flat plan of inference kernels.
+
+``compile_net`` walks a trained :class:`~repro.nn.module.Module` and
+emits a :class:`CompiledNet` — a register machine whose steps are the
+raw-ndarray kernels of :mod:`repro.nn.engine.kernels`.  Three passes run
+over the emitted plan before lowering:
+
+1. **fold** — eval-mode BatchNorm becomes a per-channel affine and is
+   folded into the preceding conv/depthwise weights (weights are copied;
+   the source module is never mutated).
+2. **fuse-act** — element-wise activations are absorbed into the
+   producing conv/affine step and applied in place on its output buffer.
+3. **fuse-bundle** — every DWConv3x3 -> PWConv1x1 pair (the SkyNet
+   Bundle after folding) collapses into one :class:`FusedBundleKernel`.
+
+The compiled plan always implements the *eval-mode* forward (BN running
+statistics, dropout off) and snapshots the weights at compile time:
+retrain the module, recompile the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ... import obs
+from ..layers.activation import LeakyReLU, ReLU, ReLU6, Sigmoid, Tanh
+from ..layers.conv import Conv2d, DWConv3x3, GroupedConv2d
+from ..layers.dropout import Dropout
+from ..layers.linear import Flatten, Linear
+from ..layers.norm import BatchNorm2d
+from ..layers.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from ..layers.reorg import Reorg, UpsampleNearest
+from ..module import Module, Sequential
+from .arena import BufferArena
+from . import kernels as K
+
+__all__ = ["CompileError", "CompiledNet", "compile_net"]
+
+
+class CompileError(TypeError):
+    """Raised when a module (sub)tree has no compilation rule."""
+
+
+# --------------------------------------------------------------------- #
+# intermediate representation
+# --------------------------------------------------------------------- #
+@dataclass(eq=False)
+class _Node:
+    """One planned op: ``kind`` + parameters, reading/writing registers.
+
+    ``eq=False`` keeps identity comparison — attrs hold ndarrays, which
+    do not support value equality, and the fusion passes only ever need
+    to find *this* node again.
+    """
+
+    kind: str
+    inputs: list[int]
+    out: int
+    attrs: dict = field(default_factory=dict)
+
+
+_ACT_SPECS: dict[type, tuple] = {
+    ReLU: ("relu",),
+    ReLU6: ("relu6",),
+    Sigmoid: ("sigmoid",),
+    Tanh: ("tanh",),
+}
+
+
+class _Planner:
+    """Emits the linear op plan by structural walk of the module tree."""
+
+    def __init__(self) -> None:
+        self.nodes: list[_Node] = []
+        self.n_regs = 1  # register 0 is the network input
+
+    def _new_reg(self) -> int:
+        self.n_regs += 1
+        return self.n_regs - 1
+
+    def _push(self, kind: str, inputs: list[int], **attrs) -> int:
+        out = self._new_reg()
+        self.nodes.append(_Node(kind, inputs, out, attrs))
+        return out
+
+    def chain(self, modules, reg: int) -> int:
+        for m in modules:
+            reg = self.emit(m, reg)
+        return reg
+
+    # ------------------------------------------------------------------ #
+    def emit(self, m: Module, reg: int) -> int:
+        """Plan ``m``'s eval-mode forward; returns the output register."""
+        # Composite model classes live outside repro.nn; import lazily so
+        # the engine stays importable from repro.nn without cycles.
+        from ...core.bundles import GenericBundle
+        from ...core.skynet import SkyNetBackbone, SkyNetBundle
+        from ...detection.head import YoloHead
+        from ...detection.model import Detector
+        from ...tracking.siamese import AdjustLayer
+        from ...zoo.mobilenet import MobileNetBackbone, _DWSeparable
+
+        if isinstance(m, DWConv3x3):
+            return self._push(
+                "dw", [reg],
+                weight=m.weight.data,
+                bias=None if m.bias is None else m.bias.data,
+                stride=m.stride, pad=m.pad, act=None,
+            )
+        if isinstance(m, Conv2d):  # covers PWConv1x1
+            return self._push(
+                "conv", [reg],
+                weight=m.weight.data,
+                bias=None if m.bias is None else m.bias.data,
+                stride=m.stride, pad=m.pad, act=None,
+            )
+        if isinstance(m, GroupedConv2d):
+            step = m.in_channels // m.groups
+            outs = []
+            for g, conv in enumerate(m.convs):
+                part = self._push("slice", [reg], start=g * step,
+                                  stop=(g + 1) * step)
+                outs.append(self.emit(conv, part))
+            return self._push("concat", outs)
+        if isinstance(m, BatchNorm2d):
+            scale, shift = m.fold_scale_shift()
+            return self._push("affine", [reg], scale=scale, shift=shift,
+                              act=None)
+        if type(m) in _ACT_SPECS:
+            return self._push("act", [reg], act=_ACT_SPECS[type(m)])
+        if isinstance(m, LeakyReLU):
+            return self._push("act", [reg], act=("leaky_relu", m.slope))
+        if isinstance(m, MaxPool2d):
+            return self._push("maxpool", [reg], kernel=m.kernel,
+                              stride=m.stride)
+        if isinstance(m, AvgPool2d):
+            return self._push("avgpool", [reg], kernel=m.kernel,
+                              stride=m.stride)
+        if isinstance(m, GlobalAvgPool2d):
+            return self._push("gap", [reg])
+        if isinstance(m, Reorg):
+            return self._push("reorg", [reg], stride=m.stride)
+        if isinstance(m, UpsampleNearest):
+            return self._push("upsample", [reg], scale=m.scale)
+        if isinstance(m, Linear):
+            return self._push(
+                "linear", [reg],
+                weight=m.weight.data,
+                bias=None if m.bias is None else m.bias.data,
+                act=None,
+            )
+        if isinstance(m, Flatten):
+            return self._push("flatten", [reg])
+        if isinstance(m, Dropout):
+            return reg  # identity in eval mode
+        if isinstance(m, Sequential):
+            return self.chain(m, reg)
+
+        # ---- composite models ---------------------------------------- #
+        if isinstance(m, SkyNetBundle):
+            return self.chain(
+                [m.dw, m.bn1, m.act1, m.pw, m.bn2, m.act2], reg
+            )
+        if isinstance(m, GenericBundle):
+            for op, bn, act in zip(m.ops, m.bns, m.acts):
+                reg = self.chain([op, bn, act], reg)
+            return reg
+        if isinstance(m, SkyNetBackbone):
+            reg = self.chain(
+                [m.bundle1, m.pool1, m.bundle2, m.pool2, m.bundle3], reg
+            )
+            if m.has_bypass:
+                bypass = self.emit(m.reorg, reg)
+                reg = self.chain([m.pool3, m.bundle4, m.bundle5], reg)
+                reg = self._push("concat", [reg, bypass])
+                return self.emit(m.bundle6, reg)
+            return self.chain([m.pool3, m.bundle4, m.bundle5], reg)
+        if isinstance(m, MobileNetBackbone):
+            reg = self.chain([m.stem, m.stem_bn, m.relu], reg)
+            return self.chain(m.blocks, reg)
+        if isinstance(m, _DWSeparable):
+            return self.chain(
+                [m.dw, m.bn1, m.relu, m.pw, m.bn2, m.relu], reg
+            )
+        if isinstance(m, Detector):
+            reg = self.emit(m.backbone, reg)
+            return self.emit(m.head, reg)
+        if isinstance(m, YoloHead):
+            return self.emit(m.proj, reg)
+        if isinstance(m, AdjustLayer):
+            return self.chain([m.conv, m.bn, m.relu], reg)
+
+        raise CompileError(
+            f"no compilation rule for {type(m).__module__}."
+            f"{type(m).__qualname__}; supported layers: conv/dw/grouped "
+            "conv, batch norm, activations, pooling, reorg, upsample, "
+            "linear/flatten/dropout, Sequential, and the SkyNet / "
+            "MobileNet / Detector / Siamese composites"
+        )
+
+
+# --------------------------------------------------------------------- #
+# optimization passes
+# --------------------------------------------------------------------- #
+def _consumer_counts(nodes: list[_Node], out_reg: int) -> dict[int, int]:
+    counts: dict[int, int] = {out_reg: 1}  # the final output is always live
+    for node in nodes:
+        for r in node.inputs:
+            counts[r] = counts.get(r, 0) + 1
+    return counts
+
+
+def _remap(nodes: list[_Node], alias: dict[int, int], out_reg: int) -> int:
+    """Rewrite register references through the alias map."""
+
+    def resolve(r: int) -> int:
+        while r in alias:
+            r = alias[r]
+        return r
+
+    for node in nodes:
+        node.inputs = [resolve(r) for r in node.inputs]
+    return resolve(out_reg)
+
+
+def _fold_batchnorm(nodes: list[_Node], out_reg: int) -> tuple[list[_Node], int]:
+    """Fold ``conv/dw -> affine`` pairs into the conv weights."""
+    producer = {n.out: n for n in nodes}
+    counts = _consumer_counts(nodes, out_reg)
+    alias: dict[int, int] = {}
+    kept: list[_Node] = []
+    for node in nodes:
+        if node.kind == "affine":
+            prev = producer.get(node.inputs[0])
+            if (
+                prev is not None
+                and prev.kind in ("conv", "dw")
+                and prev.attrs["act"] is None
+                and counts[prev.out] == 1
+            ):
+                scale = np.asarray(node.attrs["scale"], dtype=np.float32)
+                shift = np.asarray(node.attrs["shift"], dtype=np.float32)
+                w = np.asarray(prev.attrs["weight"], dtype=np.float32)
+                prev.attrs["weight"] = w * scale[:, None, None, None]
+                bias = prev.attrs["bias"]
+                bias = 0.0 if bias is None else np.asarray(bias, np.float32)
+                prev.attrs["bias"] = scale * bias + shift
+                alias[node.out] = prev.out
+                continue
+        kept.append(node)
+    out_reg = _remap(kept, alias, out_reg)
+    return kept, out_reg
+
+
+def _fuse_activations(nodes: list[_Node], out_reg: int) -> tuple[list[_Node], int]:
+    """Absorb act steps into the producing conv/dw/affine/linear step."""
+    producer = {n.out: n for n in nodes}
+    counts = _consumer_counts(nodes, out_reg)
+    alias: dict[int, int] = {}
+    kept: list[_Node] = []
+    for node in nodes:
+        if node.kind == "act":
+            prev = producer.get(node.inputs[0])
+            if (
+                prev is not None
+                and prev.kind in ("conv", "dw", "affine", "linear")
+                and prev.attrs["act"] is None
+                and counts[prev.out] == 1
+            ):
+                prev.attrs["act"] = node.attrs["act"]
+                alias[node.out] = prev.out
+                continue
+        kept.append(node)
+    out_reg = _remap(kept, alias, out_reg)
+    return kept, out_reg
+
+
+def _fuse_bundles(nodes: list[_Node], out_reg: int) -> tuple[list[_Node], int]:
+    """Collapse ``dw -> pw(1x1)`` chains into single bundle nodes."""
+    producer = {n.out: n for n in nodes}
+    counts = _consumer_counts(nodes, out_reg)
+    kept: list[_Node] = []
+    for node in nodes:
+        if node.kind == "conv":
+            w = node.attrs["weight"]
+            is_pw = (
+                w.shape[2] == 1 and w.shape[3] == 1
+                and node.attrs["stride"] == 1 and node.attrs["pad"] == 0
+            )
+            prev = producer.get(node.inputs[0])
+            if (
+                is_pw
+                and prev is not None
+                and prev.kind == "dw"
+                and counts[prev.out] == 1
+            ):
+                kept.remove(prev)
+                kept.append(
+                    _Node("bundle", list(prev.inputs), node.out,
+                          {"dw": prev.attrs, "pw": node.attrs})
+                )
+                continue
+        kept.append(node)
+    return kept, out_reg
+
+
+def _lower(nodes: list[_Node]) -> list[tuple[K.Kernel, tuple[int, ...], int]]:
+    """Turn the optimized plan into executable kernel steps."""
+    steps = []
+    for i, node in enumerate(nodes):
+        a = node.attrs
+        if node.kind == "conv":
+            kern = K.ConvKernel(i, a["weight"], a["bias"], a["stride"],
+                                a["pad"], a["act"])
+        elif node.kind == "dw":
+            kern = K.DWConvKernel(i, a["weight"], a["bias"], a["stride"],
+                                  a["pad"], a["act"])
+        elif node.kind == "bundle":
+            dw, pw = a["dw"], a["pw"]
+            kern = K.FusedBundleKernel(
+                i,
+                K.DWConvKernel((i, "dw"), dw["weight"], dw["bias"],
+                               dw["stride"], dw["pad"], dw["act"]),
+                K.ConvKernel((i, "pw"), pw["weight"], pw["bias"],
+                             pw["stride"], pw["pad"], pw["act"]),
+            )
+        elif node.kind == "affine":
+            kern = K.AffineKernel(i, a["scale"], a["shift"], a["act"])
+        elif node.kind == "act":
+            kern = K.ActKernel(i, a["act"])
+        elif node.kind == "maxpool":
+            kern = K.MaxPoolKernel(i, a["kernel"], a["stride"])
+        elif node.kind == "avgpool":
+            kern = K.AvgPoolKernel(i, a["kernel"], a["stride"])
+        elif node.kind == "gap":
+            kern = K.GlobalAvgPoolKernel(i)
+        elif node.kind == "reorg":
+            kern = K.ReorgKernel(i, a["stride"])
+        elif node.kind == "upsample":
+            kern = K.UpsampleKernel(i, a["scale"])
+        elif node.kind == "concat":
+            kern = K.ConcatKernel(i)
+        elif node.kind == "slice":
+            kern = K.SliceChannelsKernel(i, a["start"], a["stop"])
+        elif node.kind == "linear":
+            kern = K.LinearKernel(i, a["weight"], a["bias"], a["act"])
+        elif node.kind == "flatten":
+            kern = K.FlattenKernel(i)
+        else:  # pragma: no cover - planner emits only the kinds above
+            raise CompileError(f"cannot lower op kind {node.kind!r}")
+        steps.append((kern, tuple(node.inputs), node.out))
+    return steps
+
+
+# --------------------------------------------------------------------- #
+# the compiled engine
+# --------------------------------------------------------------------- #
+class CompiledNet:
+    """A flat, fused, allocation-free inference plan.
+
+    Call it with an ``(N, C, H, W)`` ndarray to get the network output as
+    an ndarray.  All intermediate buffers live in a shape-keyed
+    :class:`BufferArena`, so after the first call at a given input shape
+    the forward path performs no heap allocation beyond the output copy.
+    """
+
+    def __init__(
+        self,
+        steps: list[tuple[K.Kernel, tuple[int, ...], int]],
+        n_regs: int,
+        out_reg: int,
+        name: str = "net",
+        arena: BufferArena | None = None,
+    ) -> None:
+        self.steps = steps
+        self.n_regs = n_regs
+        self.out_reg = out_reg
+        self.name = name
+        self.arena = arena if arena is not None else BufferArena()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.dtype != np.float32:
+            x = x.astype(np.float32)
+        regs: list[np.ndarray | None] = [None] * self.n_regs
+        regs[0] = x
+        arena = self.arena
+        if obs.enabled():
+            with obs.span("engine/forward", engine=self.name,
+                          batch=x.shape[0]):
+                for kern, ins, out in self.steps:
+                    with obs.span("engine/kernel", kernel=kern.label):
+                        regs[out] = kern.run([regs[i] for i in ins], arena)
+        else:
+            for kern, ins, out in self.steps:
+                regs[out] = kern.run([regs[i] for i in ins], arena)
+        # Copy out of the arena so the caller can hold the result across
+        # frames without the next call overwriting it.
+        return np.array(regs[self.out_reg], copy=True)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def summary(self) -> str:
+        """Human-readable plan: one row per kernel."""
+        from ...utils.tables import format_table
+
+        rows = [[i, kern.label, str(ins), out]
+                for i, (kern, ins, out) in enumerate(self.steps)]
+        return format_table(
+            ["step", "kernel", "reads", "writes"], rows,
+            title=f"CompiledNet({self.name}): {len(self.steps)} kernels, "
+                  f"arena {self.arena.nbytes() / 1e6:.2f} MB",
+        )
+
+
+def compile_net(
+    module: Module,
+    name: str | None = None,
+    arena: BufferArena | None = None,
+) -> CompiledNet:
+    """Compile a trained module's eval-mode forward into a
+    :class:`CompiledNet`.
+
+    Raises :class:`CompileError` for module types without a rule.
+    """
+    if name is None:
+        name = type(module).__name__
+    with obs.span("engine/compile", model=name):
+        planner = _Planner()
+        out_reg = planner.emit(module, 0)
+        nodes = planner.nodes
+        nodes, out_reg = _fold_batchnorm(nodes, out_reg)
+        nodes, out_reg = _fuse_activations(nodes, out_reg)
+        nodes, out_reg = _fuse_bundles(nodes, out_reg)
+        steps = _lower(nodes)
+        net = CompiledNet(steps, planner.n_regs, out_reg, name, arena)
+        obs.set_gauge(f"engine/{name}/kernels", len(steps))
+    return net

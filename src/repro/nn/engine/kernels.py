@@ -1,0 +1,420 @@
+"""Inference kernels for the compiled engine.
+
+Each kernel is a plain-ndarray operation: no :class:`~repro.nn.tensor.Tensor`
+wrappers, no autograd closures, no graph bookkeeping.  Kernels draw every
+scratch and output array from a :class:`~repro.nn.engine.arena.BufferArena`
+keyed by their own identity, so repeated calls at a fixed input shape run
+allocation-free.  Activations and (folded) biases are applied in place on
+the output buffer.
+
+The convolution kernels mirror the im2col formulation of
+:mod:`repro.nn.functional` exactly — including the 1x1 fast path that
+skips im2col — so compiled outputs match the eager eval path bit-for-bit
+up to float32 rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..im2col import conv_out_size
+
+__all__ = [
+    "Kernel",
+    "ConvKernel",
+    "DWConvKernel",
+    "FusedBundleKernel",
+    "AffineKernel",
+    "ActKernel",
+    "MaxPoolKernel",
+    "AvgPoolKernel",
+    "GlobalAvgPoolKernel",
+    "ReorgKernel",
+    "UpsampleKernel",
+    "ConcatKernel",
+    "SliceChannelsKernel",
+    "LinearKernel",
+    "FlattenKernel",
+    "IdentityKernel",
+    "apply_activation",
+]
+
+
+def apply_activation(out: np.ndarray, act: tuple | None) -> np.ndarray:
+    """Apply an activation spec in place; ``act`` is ``None`` or a tuple
+    ``('relu',) | ('relu6',) | ('leaky_relu', slope) | ('sigmoid',) |
+    ('tanh',)``."""
+    if act is None:
+        return out
+    kind = act[0]
+    if kind == "relu":
+        np.maximum(out, 0.0, out=out)
+    elif kind == "relu6":
+        np.clip(out, 0.0, 6.0, out=out)
+    elif kind == "leaky_relu":
+        slope = act[1]
+        neg = out < 0
+        np.multiply(out, slope, out=out, where=neg)
+    elif kind == "sigmoid":
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+    elif kind == "tanh":
+        np.tanh(out, out=out)
+    else:  # pragma: no cover - compiler validates
+        raise ValueError(f"unknown activation {act!r}")
+    return out
+
+
+def _im2col_into(
+    arena, owner, x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Arena-backed im2col: returns (cols (N, C*kh*kw, OH*OW), OH, OW)."""
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if pad > 0:
+        xp = arena.get(
+            owner, "pad", (n, c, h + 2 * pad, w + 2 * pad), x.dtype, zero=True
+        )
+        xp[:, :, pad : pad + h, pad : pad + w] = x
+        x = xp
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    cols = arena.get(owner, "cols", (n, c * kh * kw, oh * ow), x.dtype)
+    np.copyto(
+        cols.reshape(n, c, kh, kw, oh, ow), windows.transpose(0, 1, 4, 5, 2, 3)
+    )
+    return cols, oh, ow
+
+
+class Kernel:
+    """Base class: a compiled step with a stable arena identity."""
+
+    label = "kernel"
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ConvKernel(Kernel):
+    """Dense convolution (+ folded bias + fused activation).
+
+    1x1/stride-1/pad-0 convolutions (half of every SkyNet Bundle) skip
+    im2col entirely and run as a single reshape + matmul.
+    """
+
+    def __init__(
+        self,
+        key: int,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int = 1,
+        pad: int = 0,
+        act: tuple | None = None,
+    ) -> None:
+        super().__init__(key)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.stride = stride
+        self.pad = pad
+        self.act = act
+        cout, cin, kh, kw = self.weight.shape
+        self.kh, self.kw = kh, kw
+        self._wmat = self.weight.reshape(cout, cin * kh * kw)
+        suffix = f"+{act[0]}" if act else ""
+        self.label = f"conv{kh}x{kw} {cin}->{cout}{suffix}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, cin, h, w = x.shape
+        cout = self._wmat.shape[0]
+        if self.kh == 1 and self.kw == 1 and self.stride == 1 and self.pad == 0:
+            cols, oh, ow = x.reshape(n, cin, h * w), h, w
+        else:
+            cols, oh, ow = _im2col_into(
+                arena, self.key, x, self.kh, self.kw, self.stride, self.pad
+            )
+        out = arena.get(self.key, "out", (n, cout, oh * ow), np.float32)
+        np.matmul(self._wmat, cols, out=out)
+        if self.bias is not None:
+            out += self.bias.reshape(1, cout, 1)
+        apply_activation(out, self.act)
+        return out.reshape(n, cout, oh, ow)
+
+
+class DWConvKernel(Kernel):
+    """Depthwise convolution (+ folded bias + fused activation)."""
+
+    def __init__(
+        self,
+        key: int,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int = 1,
+        pad: int = 0,
+        act: tuple | None = None,
+    ) -> None:
+        super().__init__(key)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float32)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.stride = stride
+        self.pad = pad
+        self.act = act
+        c, _, kh, kw = self.weight.shape
+        self.kh, self.kw = kh, kw
+        self._wmat = self.weight.reshape(c, 1, kh * kw)
+        suffix = f"+{act[0]}" if act else ""
+        self.label = f"dwconv{kh}x{kw} c{c}{suffix}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        cols, oh, ow = _im2col_into(
+            arena, self.key, x, self.kh, self.kw, self.stride, self.pad
+        )
+        cols = cols.reshape(n, c, self.kh * self.kw, oh * ow)
+        out = arena.get(self.key, "out", (n, c, 1, oh * ow), np.float32)
+        np.matmul(self._wmat, cols, out=out)
+        if self.bias is not None:
+            out += self.bias.reshape(1, c, 1, 1)
+        apply_activation(out, self.act)
+        return out.reshape(n, c, oh, ow)
+
+
+class FusedBundleKernel(Kernel):
+    """One SkyNet Bundle as a single step: DWConv3x3 -> act -> PWConv1x1 -> act.
+
+    Both BatchNorms are already folded into the two weight tensors, so
+    the whole Bundle runs as two matmuls with in-place bias/activation —
+    the TensorRT-style fusion the TX2 deployment relies on.
+    """
+
+    def __init__(self, key: int, dw: DWConvKernel, pw: ConvKernel) -> None:
+        super().__init__(key)
+        self.dw = dw
+        self.pw = pw
+        self.label = f"bundle[{dw.label} | {pw.label}]"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        mid = self.dw.run(inputs, arena)
+        return self.pw.run([mid], arena)
+
+
+class AffineKernel(Kernel):
+    """Per-channel ``scale * x + shift`` — an unfolded eval-mode BatchNorm
+    (only emitted when the preceding op cannot absorb the fold)."""
+
+    def __init__(
+        self,
+        key: int,
+        scale: np.ndarray,
+        shift: np.ndarray,
+        act: tuple | None = None,
+    ) -> None:
+        super().__init__(key)
+        self.scale = np.asarray(scale, dtype=np.float32)
+        self.shift = np.asarray(shift, dtype=np.float32)
+        self.act = act
+        self.label = f"affine c{self.scale.size}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        c = self.scale.size
+        out = arena.get(self.key, "out", x.shape, np.float32)
+        np.multiply(x, self.scale.reshape(1, c, 1, 1), out=out)
+        out += self.shift.reshape(1, c, 1, 1)
+        apply_activation(out, self.act)
+        return out
+
+
+class ActKernel(Kernel):
+    """Standalone activation (when it could not be fused upstream)."""
+
+    def __init__(self, key: int, act: tuple) -> None:
+        super().__init__(key)
+        self.act = act
+        self.label = f"act:{act[0]}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        out = arena.get(self.key, "out", x.shape, np.float32)
+        np.copyto(out, x)
+        return apply_activation(out, self.act)
+
+
+class MaxPoolKernel(Kernel):
+    def __init__(self, key: int, kernel: int, stride: int) -> None:
+        super().__init__(key)
+        self.kernel = kernel
+        self.stride = stride
+        self.label = f"maxpool{kernel}x{kernel}/s{stride}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        oh = conv_out_size(h, k, s, 0)
+        ow = conv_out_size(w, k, s, 0)
+        out = arena.get(self.key, "out", (n, c, oh, ow), np.float32)
+        # Accumulate tap-by-tap over strided slices rather than reducing a
+        # sliding-window view: a (..., k, k) axis reduction over the strided
+        # view is an order of magnitude slower than k*k vectorized maximums.
+        np.copyto(out, x[:, :, : s * oh : s, : s * ow : s])
+        for i in range(k):
+            for j in range(k):
+                if i == 0 and j == 0:
+                    continue
+                np.maximum(
+                    out, x[:, :, i : i + s * oh : s, j : j + s * ow : s], out=out
+                )
+        return out
+
+
+class AvgPoolKernel(Kernel):
+    def __init__(self, key: int, kernel: int, stride: int) -> None:
+        super().__init__(key)
+        self.kernel = kernel
+        self.stride = stride
+        self.label = f"avgpool{kernel}x{kernel}/s{stride}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        oh = conv_out_size(h, k, s, 0)
+        ow = conv_out_size(w, k, s, 0)
+        out = arena.get(self.key, "out", (n, c, oh, ow), np.float32)
+        # Same tap-accumulation trick as MaxPoolKernel.
+        np.copyto(out, x[:, :, : s * oh : s, : s * ow : s])
+        for i in range(k):
+            for j in range(k):
+                if i == 0 and j == 0:
+                    continue
+                out += x[:, :, i : i + s * oh : s, j : j + s * ow : s]
+        out *= 1.0 / (k * k)
+        return out
+
+
+class GlobalAvgPoolKernel(Kernel):
+    label = "global_avg_pool"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, c = x.shape[:2]
+        out = arena.get(self.key, "out", (n, c), np.float32)
+        np.mean(x, axis=(2, 3), out=out)
+        return out
+
+
+class ReorgKernel(Kernel):
+    """Space-to-depth rearrangement, identical to :func:`repro.nn.functional.reorg`."""
+
+    def __init__(self, key: int, stride: int) -> None:
+        super().__init__(key)
+        self.stride = stride
+        self.label = f"reorg/s{stride}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        s = self.stride
+        if h % s or w % s:
+            raise ValueError(f"reorg: spatial dims ({h},{w}) not divisible by {s}")
+        out = arena.get(self.key, "out", (n, c * s * s, h // s, w // s), np.float32)
+        np.copyto(
+            out.reshape(n, s, s, c, h // s, w // s),
+            x.reshape(n, c, h // s, s, w // s, s).transpose(0, 3, 5, 1, 2, 4),
+        )
+        return out
+
+
+class UpsampleKernel(Kernel):
+    def __init__(self, key: int, scale: int) -> None:
+        super().__init__(key)
+        self.scale = scale
+        self.label = f"upsample x{scale}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        n, c, h, w = x.shape
+        s = self.scale
+        out = arena.get(self.key, "out", (n, c, h * s, w * s), np.float32)
+        np.copyto(
+            out.reshape(n, c, h, s, w, s), x[:, :, :, None, :, None]
+        )
+        return out
+
+
+class ConcatKernel(Kernel):
+    """Channel concatenation (the B/C bypass merge)."""
+
+    label = "concat"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        n, _, h, w = inputs[0].shape
+        c = sum(a.shape[1] for a in inputs)
+        out = arena.get(self.key, "out", (n, c, h, w), np.float32)
+        np.concatenate(inputs, axis=1, out=out)
+        return out
+
+
+class SliceChannelsKernel(Kernel):
+    """Channel slice view (grouped-conv input split); allocation-free."""
+
+    def __init__(self, key: int, start: int, stop: int) -> None:
+        super().__init__(key)
+        self.start = start
+        self.stop = stop
+        self.label = f"slice[{start}:{stop}]"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        return inputs[0][:, self.start : self.stop]
+
+
+class LinearKernel(Kernel):
+    def __init__(
+        self,
+        key: int,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        act: tuple | None = None,
+    ) -> None:
+        super().__init__(key)
+        self._wt = np.ascontiguousarray(
+            np.asarray(weight, dtype=np.float32).T
+        )
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.act = act
+        self.label = f"linear {self._wt.shape[0]}->{self._wt.shape[1]}"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        out = arena.get(self.key, "out", (x.shape[0], self._wt.shape[1]),
+                        np.float32)
+        np.matmul(x, self._wt, out=out)
+        if self.bias is not None:
+            out += self.bias
+        apply_activation(out, self.act)
+        return out
+
+
+class FlattenKernel(Kernel):
+    label = "flatten"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        (x,) = inputs
+        return x.reshape(x.shape[0], -1)
+
+
+class IdentityKernel(Kernel):
+    """No-op (eval-mode Dropout)."""
+
+    label = "identity"
+
+    def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        return inputs[0]

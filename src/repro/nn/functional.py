@@ -61,7 +61,14 @@ def conv2d(
     oh = conv_out_size(h, kh, stride, pad)
     ow = conv_out_size(w, kw, stride, pad)
 
-    cols = im2col(x.data, kh, kw, stride, pad)  # (N, Cin*KH*KW, OH*OW)
+    # PWConv1x1 fast path (half of every SkyNet Bundle): a 1x1 kernel
+    # with unit stride and no padding is a plain channel mixing, so the
+    # column matrix is just a reshape view — no im2col unfold needed.
+    pointwise = kh == 1 and kw == 1 and stride == 1 and pad == 0
+    if pointwise:
+        cols = x.data.reshape(n, cin, h * w)
+    else:
+        cols = im2col(x.data, kh, kw, stride, pad)  # (N, Cin*KH*KW, OH*OW)
     wmat = weight.data.reshape(cout, -1)  # (Cout, Cin*KH*KW)
     out = np.einsum("ok,nkp->nop", wmat, cols, optimize=True)
     out = out.reshape(n, cout, oh, ow)
@@ -76,7 +83,10 @@ def conv2d(
             weight.shape
         )
         gcols = np.einsum("ok,nop->nkp", wmat, gmat, optimize=True)
-        gx = col2im(gcols, x.shape, kh, kw, stride, pad)
+        if pointwise:
+            gx = gcols.reshape(x.shape)
+        else:
+            gx = col2im(gcols, x.shape, kh, kw, stride, pad)
         if bias is None:
             return (gx, gw)
         gb = g.sum(axis=(0, 2, 3))

@@ -35,6 +35,11 @@ def im2col(
     windows = windows[:, :, ::stride, ::stride, :, :]
     # -> (N, C, kh, kw, OH, OW) -> (N, C*kh*kw, OH*OW)
     cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+    # Reshaping the transposed window view already copies into C order
+    # for any kernel larger than 1x1; only defend against the degenerate
+    # cases where reshape can return a non-contiguous view.
+    if cols.flags["C_CONTIGUOUS"]:
+        return cols
     return np.ascontiguousarray(cols)
 
 

@@ -131,6 +131,10 @@ class GroupedConv2d(Module):
         self.groups = groups
         self.kernel = kernel
         self.stride = stride
+        # Resolve 'same' padding once and hand every per-group Conv2d the
+        # resolved value: the sub-convs must never re-derive it, so an
+        # explicit ``pad`` (including 0) and ``pad=None`` behave
+        # identically at the group level and the layer level.
         self.pad = kernel // 2 if pad is None else pad
         self.convs = []
         for g in range(groups):

@@ -23,7 +23,7 @@ from ..nn.module import Module
 from ..utils.rng import default_rng
 
 __all__ = ["crop_and_resize", "xcorr_depthwise", "AdjustLayer",
-           "EXEMPLAR_CONTEXT", "SEARCH_CONTEXT"]
+           "compile_extractor", "EXEMPLAR_CONTEXT", "SEARCH_CONTEXT"]
 
 # Context factors: crop side = context * sqrt(w*h) around the target.
 EXEMPLAR_CONTEXT = 2.0
@@ -101,6 +101,30 @@ def xcorr_depthwise(x: Tensor, z: Tensor) -> Tensor:
     zr = z.reshape(n * c, 1, hz, wz)
     out = F.depthwise_conv2d(xr, zr, stride=1, pad=0)
     return out.reshape(n, c, hx - hz + 1, wx - wz + 1)
+
+
+def compile_extractor(model: Module, arena=None):
+    """Compile a Siamese model's feature extractor (backbone + adjust).
+
+    Returns a :class:`repro.nn.engine.CompiledNet` equivalent to
+    ``model.extract`` in eval mode.  Exemplar and search crops have
+    different static shapes, so the shape-keyed arena keeps separate
+    buffers for each and both paths stay allocation-free after the
+    first frame.
+    """
+    from ..nn.engine import compile_net
+    from ..nn.module import Sequential
+
+    was_training = model.training
+    model.eval()
+    net = compile_net(
+        Sequential(model.backbone, model.adjust),
+        name=f"{type(model).__name__}.extract",
+        arena=arena,
+    )
+    if was_training:
+        model.train()
+    return net
 
 
 class AdjustLayer(Module):

@@ -144,11 +144,16 @@ class SiamFCTracker:
         scales: tuple[float, ...] = (0.96, 1.0, 1.04),
         window_influence: float = 0.35,
         scale_lr: float = 0.4,
+        engine: str = "eager",
     ) -> None:
+        if engine not in ("eager", "compiled"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.model = model
         self.scales = scales
         self.window_influence = window_influence
         self.scale_lr = scale_lr
+        self.engine = engine
+        self._extractor = None
         r = model.response
         hann = np.hanning(r + 2)[1:-1]
         self.window = np.outer(hann, hann)
@@ -157,22 +162,32 @@ class SiamFCTracker:
         self.center = (0.5, 0.5)
         self.size = (0.1, 0.1)
 
+    def _extract(self, crop: np.ndarray) -> Tensor:
+        """Features for one (1, 3, S, S) crop via the selected engine."""
+        if self.engine == "compiled":
+            if self._extractor is None:
+                from .siamese import compile_extractor
+
+                self._extractor = compile_extractor(self.model)
+            return Tensor(self._extractor(crop))
+        with no_grad():
+            return self.model.extract(Tensor(crop))
+
     def init(self, frame: np.ndarray, box_cxcywh: np.ndarray) -> None:
         cx, cy, w, h = [float(v) for v in box_cxcywh]
         self.center, self.size = (cx, cy), (w, h)
         side = EXEMPLAR_CONTEXT * float(np.sqrt(w * h))
         crop, _ = crop_and_resize(frame, self.center, side, EXEMPLAR_SIZE)
         self.model.eval()
-        with no_grad():
-            self._zf = self.model.extract(Tensor(crop[None]))
+        self._zf = self._extract(crop[None])
 
     def _score(self, frame: np.ndarray, scale: float) -> tuple[np.ndarray,
                                                                tuple]:
         w, h = self.size
         side = SEARCH_CONTEXT * scale * float(np.sqrt(max(w * h, 1e-8)))
         crop, geom = crop_and_resize(frame, self.center, side, SEARCH_SIZE)
+        xf = self._extract(crop[None])
         with no_grad():
-            xf = self.model.extract(Tensor(crop[None]))
             corr = self.model.corr_bn(
                 xcorr_depthwise(xf, self._zf)
             )

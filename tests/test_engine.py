@@ -1,0 +1,294 @@
+"""Tests for the compiled inference engine (repro.nn.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SkyNetBackbone
+from repro.detection import Detector
+from repro.nn import Sequential, Tensor, no_grad
+from repro.nn.engine import (
+    BufferArena,
+    CompileError,
+    ThreadedPipeline,
+    compile_net,
+)
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU6
+
+
+def _randomize_bn_stats(model, rng) -> None:
+    """Give every BN layer non-trivial running statistics and affine
+    parameters, so folding mistakes cannot hide behind identity stats."""
+    for m in model.modules():
+        if isinstance(m, BatchNorm2d):
+            m.running_mean[:] = rng.normal(0.0, 0.5, m.running_mean.shape)
+            m.running_var[:] = rng.uniform(0.5, 2.0, m.running_var.shape)
+            m.gamma.data[:] = rng.uniform(0.5, 1.5, m.gamma.shape)
+            m.beta.data[:] = rng.normal(0.0, 0.2, m.beta.shape)
+
+
+def _eager(model, x: np.ndarray) -> np.ndarray:
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("config", ["A", "B", "C"])
+    def test_skynet_matches_eager(self, config, rng):
+        bb = SkyNetBackbone(config, width_mult=0.25, rng=rng)
+        _randomize_bn_stats(bb, rng)
+        bb.eval()
+        x = rng.normal(0, 1, (2, 3, 16, 32)).astype(np.float32)
+        net = compile_net(bb)
+        np.testing.assert_allclose(net(x), _eager(bb, x), atol=1e-5)
+
+    def test_zoo_backbone_matches_eager(self, rng):
+        from repro.zoo import build_backbone
+
+        mb = build_backbone("mobilenet", width_mult=0.25, rng=rng)
+        _randomize_bn_stats(mb, rng)
+        mb.eval()
+        x = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        net = compile_net(mb)
+        np.testing.assert_allclose(net(x), _eager(mb, x), atol=1e-5)
+
+    def test_detector_matches_eager(self, rng):
+        det = Detector(SkyNetBackbone("C", width_mult=0.25, rng=rng))
+        _randomize_bn_stats(det, rng)
+        det.eval()
+        x = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        np.testing.assert_allclose(
+            compile_net(det)(x), _eager(det, x), atol=1e-5
+        )
+
+    def test_bn_folding_single_conv(self, rng):
+        """Conv -> BN -> ReLU6 folds into ONE kernel and stays exact."""
+        net = Sequential(Conv2d(3, 8, rng=rng), BatchNorm2d(8), ReLU6())
+        _randomize_bn_stats(net, rng)
+        net.eval()
+        x = rng.normal(0, 1, (2, 3, 8, 8)).astype(np.float32)
+        compiled = compile_net(net)
+        assert len(compiled) == 1  # BN folded, activation fused
+        np.testing.assert_allclose(compiled(x), _eager(net, x), atol=1e-5)
+
+    def test_repeat_calls_are_deterministic(self, rng):
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        x = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        first = net(x)
+        np.testing.assert_array_equal(net(x), first)
+
+    def test_output_survives_next_call(self, rng):
+        """The returned array is a copy, not an arena view."""
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        x1 = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        x2 = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        out1 = net(x1)
+        saved = out1.copy()
+        net(x2)
+        np.testing.assert_array_equal(out1, saved)
+
+
+class TestPlan:
+    def test_bundles_fused(self, rng):
+        """SkyNet-A = 5 bundles + 3 pools -> exactly 8 kernels."""
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        assert len(compile_net(bb)) == 8
+
+    def test_unsupported_module_raises(self):
+        from repro.nn.module import Module
+
+        class Exotic(Module):
+            def forward(self, x):  # pragma: no cover
+                return x
+
+        with pytest.raises(CompileError):
+            compile_net(Exotic())
+
+    def test_summary_lists_kernels(self, rng):
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        text = net.summary()
+        assert "bundle" in text and "maxpool" in text
+
+
+class TestArena:
+    def test_buffers_reused_across_frames(self, rng):
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        x = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        net(x)
+        allocated = len(net.arena)
+        misses = net.arena.misses
+        net(x)
+        assert len(net.arena) == allocated  # no new buffers
+        assert net.arena.misses == misses
+        assert net.arena.hits > 0
+
+    def test_distinct_shapes_get_distinct_buffers(self):
+        arena = BufferArena()
+        a = arena.get("k", "out", (2, 3), np.float32)
+        b = arena.get("k", "out", (4, 3), np.float32)
+        assert a is not b
+        assert arena.get("k", "out", (2, 3), np.float32) is a
+
+    def test_zero_buffers_zeroed_once(self):
+        arena = BufferArena()
+        a = arena.get("k", "pad", (4,), np.float32, zero=True)
+        assert not a.any()
+        a[:] = 7.0
+        # second request returns the same (dirty) buffer: callers own
+        # the interior, the kernel re-writes what it uses.
+        assert arena.get("k", "pad", (4,), np.float32, zero=True) is a
+
+    def test_nbytes_and_clear(self):
+        arena = BufferArena()
+        arena.get("k", "out", (8,), np.float32)
+        assert arena.nbytes() == 32
+        arena.clear()
+        assert len(arena) == 0
+
+
+class TestEnginePools:
+    """Pool kernels use tap-accumulation; pin them to the eager ops."""
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (2, 1)])
+    def test_maxpool_matches_functional(self, kernel, stride, rng):
+        from repro.nn import functional as F
+        from repro.nn.engine.kernels import MaxPoolKernel
+
+        x = rng.normal(0, 1, (2, 4, 9, 11)).astype(np.float32)
+        ref = F.max_pool2d(Tensor(x), kernel, stride).data
+        out = MaxPoolKernel("k", kernel, stride).run([x], BufferArena())
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2)])
+    def test_avgpool_matches_functional(self, kernel, stride, rng):
+        from repro.nn import functional as F
+        from repro.nn.engine.kernels import AvgPoolKernel
+
+        x = rng.normal(0, 1, (2, 4, 9, 11)).astype(np.float32)
+        ref = F.avg_pool2d(Tensor(x), kernel, stride).data
+        out = AvgPoolKernel("k", kernel, stride).run([x], BufferArena())
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+
+class TestThreadedPipeline:
+    def test_preserves_order_and_results(self):
+        pipe = ThreadedPipeline([
+            ("double", lambda v: v * 2),
+            ("inc", lambda v: v + 1),
+        ])
+        assert pipe.run(range(50)) == [v * 2 + 1 for v in range(50)]
+        assert set(pipe.stage_ms) == {"double", "inc"}
+        assert pipe.fps > 0
+
+    def test_propagates_stage_errors(self):
+        def boom(v):
+            raise RuntimeError("stage failed")
+
+        pipe = ThreadedPipeline([("boom", boom)])
+        with pytest.raises(RuntimeError, match="stage failed"):
+            pipe.run([1, 2, 3])
+
+    def test_to_simulator_roundtrip(self):
+        pipe = ThreadedPipeline([("a", lambda v: v), ("b", lambda v: v)])
+        with pytest.raises(RuntimeError):
+            pipe.to_simulator()  # before run()
+        pipe.run(range(8))
+        sim = pipe.to_simulator()
+        assert [s.name for s in sim.stages] == ["a", "b"]
+        assert sim.run_pipelined(8).fps > 0
+
+    def test_from_measurements_orders_stages(self):
+        from repro.hardware.pipeline import PipelineSimulator
+
+        sim = PipelineSimulator.from_measurements(
+            {"fetch": 1.0, "dnn": 4.0, "post": 0.5}, batch=2
+        )
+        assert [s.name for s in sim.stages] == ["fetch", "dnn", "post"]
+        assert sim.batch == 2
+        assert sim.run_pipelined(16).bottleneck == "dnn"
+
+
+class TestIntegration:
+    def test_detector_predict_engines_agree(self, rng):
+        det = Detector(SkyNetBackbone("A", width_mult=0.25, rng=rng))
+        _randomize_bn_stats(det, rng)
+        det.eval()
+        images = rng.normal(0, 1, (3, 3, 16, 32)).astype(np.float32)
+        np.testing.assert_allclose(
+            det.predict(images, engine="compiled"),
+            det.predict(images, engine="eager"),
+            atol=1e-4,
+        )
+
+    def test_detector_compile_cache_invalidated_by_train(self, rng):
+        det = Detector(SkyNetBackbone("A", width_mult=0.25, rng=rng))
+        det.eval()
+        first = det.compile()
+        assert det.compile() is first  # cached
+        det.train()
+        det.eval()
+        assert det.compile() is not first  # recompiled after training
+
+    def test_detector_predict_rejects_unknown_engine(self, rng):
+        det = Detector(SkyNetBackbone("A", width_mult=0.25, rng=rng))
+        with pytest.raises(ValueError, match="unknown engine"):
+            det.predict(np.zeros((1, 3, 16, 32), np.float32), engine="tpu")
+
+    def test_siamfc_tracker_engines_agree(self, rng):
+        from repro.tracking.siamfc import SiamFC, SiamFCTracker
+
+        frame = rng.uniform(0, 1, (3, 64, 64)).astype(np.float32)
+        box = np.array([0.5, 0.5, 0.3, 0.3])
+        boxes = {}
+        for engine in ("eager", "compiled"):
+            model = SiamFC(
+                SkyNetBackbone("A", width_mult=0.25,
+                               rng=np.random.default_rng(3)),
+                rng=np.random.default_rng(4),
+            )
+            model.eval()
+            tracker = SiamFCTracker(model, engine=engine)
+            tracker.init(frame, box)
+            boxes[engine] = tracker.track(frame)
+        np.testing.assert_allclose(
+            boxes["compiled"], boxes["eager"], atol=1e-4
+        )
+
+    def test_compile_extractor_matches_extract(self, rng):
+        from repro.tracking.siamese import compile_extractor
+        from repro.tracking.siamfc import SiamFC
+
+        model = SiamFC(SkyNetBackbone("A", width_mult=0.25, rng=rng),
+                       rng=rng)
+        _randomize_bn_stats(model, rng)
+        model.eval()
+        net = compile_extractor(model)
+        x = rng.normal(0, 1, (1, 3, 32, 32)).astype(np.float32)
+        with no_grad():
+            ref = model.extract(Tensor(x)).data
+        np.testing.assert_allclose(net(x), ref, atol=1e-5)
+
+    def test_engine_spans_recorded(self, rng, tmp_path):
+        from repro import obs
+
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        path = tmp_path / "trace.jsonl"
+        with obs.recording(str(path)):
+            net = compile_net(bb)
+            net(rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32))
+        records = obs.load_trace(str(path))
+        names = {r["name"] for r in records if r.get("type") == "span"}
+        assert "engine/compile" in names
+        assert "engine/forward" in names
+        assert "engine/kernel" in names

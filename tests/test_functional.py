@@ -82,6 +82,29 @@ class TestConv2d:
             num = numerical_gradient(f, t.data)
             np.testing.assert_allclose(t.grad, num, atol=1e-4)
 
+    def test_pointwise_fast_path_gradcheck(self, rng):
+        """1x1/s1/p0 convs skip im2col; gradients must still be exact."""
+        x = Tensor(rng.normal(size=(2, 3, 4, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 3, 1, 1)), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        out = F.conv2d(x, w, b, stride=1, pad=0)
+        (out * out).sum().backward()
+
+        def f():
+            o = F.conv2d(x.detach(), w.detach(), b.detach(), 1, 0).data
+            return float((o * o).sum())
+
+        for t in (x, w, b):
+            num = numerical_gradient(f, t.data)
+            np.testing.assert_allclose(t.grad, num, atol=1e-4)
+
+    def test_pointwise_fast_path_matches_einsum(self, rng):
+        x = rng.normal(size=(2, 3, 6, 7))
+        w = rng.normal(size=(5, 3, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, pad=0).data
+        ref = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
 
 class TestDepthwiseConv:
     def test_each_channel_independent(self, rng):

@@ -63,6 +63,35 @@ class TestConvLayers:
         dw, pw = DWConv3x3(64), PWConv1x1(64, 128)
         assert dw.macs(16, 16) + pw.macs(16, 16) < dense.macs(16, 16) / 5
 
+    @pytest.mark.parametrize("pad,expect_hw", [
+        (None, (10, 12)),  # 'same' for kernel 3
+        (1, (10, 12)),     # explicit value of 'same'
+        (0, (8, 10)),      # valid convolution
+    ])
+    def test_grouped_conv_pad_consistency(self, pad, expect_hw, rng):
+        """Regression: pad=None ('same') and the equivalent explicit pad
+        must produce identical shapes, and pad=0 must not be silently
+        promoted to 'same' by any per-group sub-conv."""
+        from repro.nn.layers import GroupedConv2d
+
+        conv = GroupedConv2d(6, 8, kernel=3, groups=2, pad=pad, rng=rng)
+        resolved = 1 if pad is None else pad
+        assert conv.pad == resolved
+        assert all(sub.pad == resolved for sub in conv.convs)
+        out = conv(Tensor(rng.normal(size=(2, 6, 10, 12))))
+        assert out.shape == (2, 8, *expect_hw)
+
+    def test_grouped_conv_same_pad_matches_explicit(self, rng):
+        """pad=None and pad=k//2 are byte-identical, not just same-shape."""
+        from repro.nn.layers import GroupedConv2d
+
+        a = GroupedConv2d(4, 4, kernel=3, groups=2, pad=None,
+                          rng=np.random.default_rng(5))
+        b = GroupedConv2d(4, 4, kernel=3, groups=2, pad=1,
+                          rng=np.random.default_rng(5))
+        x = rng.normal(size=(1, 4, 6, 6))
+        np.testing.assert_array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
 
 class TestNormAndPool:
     def test_bn_fold_scale_shift_matches_eval(self, rng):
