@@ -31,5 +31,7 @@ __all__ = [
     "contest",
     "zoo",
     "tracking",
+    "runtime",
+    "serve",
     "utils",
 ]

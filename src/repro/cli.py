@@ -8,10 +8,14 @@ Subcommands cover the library's main workflows without writing code:
 * ``search``   — run the bottom-up design flow at a small budget.
 * ``score``    — recompute the DAC-SDC'19 score tables (Eqs. 2-5).
 * ``infer``    — timed batch inference via the eager or compiled engine.
+* ``serve``    — dynamic-batching inference server under synthetic load.
 * ``dataset``  — generate and save a synthetic dataset archive.
 * ``obs``      — render a JSONL trace written by ``--trace``.
 
-``train`` and ``search`` accept ``--trace PATH`` to record spans and
+``infer`` and ``serve`` share one option block (``_add_infer_options``)
+and both route through :class:`repro.runtime.Session`; ``serve`` is
+``infer --serve`` under a dedicated name.  ``train``, ``search``,
+``infer`` and ``serve`` accept ``--trace PATH`` to record spans and
 metrics (see :mod:`repro.obs`) for later inspection with ``repro obs``.
 """
 
@@ -24,6 +28,54 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_infer_options(p: argparse.ArgumentParser, serve: bool) -> None:
+    """The option block shared by ``infer`` and ``serve``.
+
+    ``serve`` only flips defaults/help — the flags are identical, so the
+    two subcommands cannot drift apart.
+    """
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint from `repro train`; a fresh random "
+                        "SkyNet is used when omitted")
+    p.add_argument("--engine", default="compiled",
+                   choices=["eager", "compiled"],
+                   help="forward backend (Session backend "
+                        "'engine'/'eager')")
+    p.add_argument("--config", default="C", choices=["A", "B", "C"],
+                   help="SkyNet config when no checkpoint is given")
+    p.add_argument("--width", type=float, default=0.25,
+                   help="width multiplier when no checkpoint is given")
+    p.add_argument("--images", type=int, default=32 if not serve else 64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--serve", action="store_true", default=serve,
+                   help=argparse.SUPPRESS if serve else
+                        "serve the images as concurrent requests "
+                        "through the dynamic-batching server")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="dynamic batcher: flush at this many requests")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="dynamic batcher: flush after this wait window")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="bounded request queue; overflow is shed (503)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline; queued past it -> 504")
+    p.add_argument("--workers", type=int, default=1,
+                   help="server worker threads (one engine clone each)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="client threads submitting load in serve mode")
+    p.add_argument("--microbatch", type=int, default=0,
+                   help="split batches into tiles of this size before "
+                        "the forward (0 = off); useful on cache-starved "
+                        "hosts")
+    if not serve:
+        p.add_argument("--pipeline", action="store_true",
+                       help="run the 4-stage threaded pipeline (fetch, "
+                            "pre-process, DNN, post-process) and compare "
+                            "with the analytic simulator")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record spans/metrics to a JSONL trace file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,23 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "infer", help="run timed batch inference (eager or compiled engine)"
     )
-    p.add_argument("--checkpoint", default=None,
-                   help="checkpoint from `repro train`; a fresh random "
-                        "SkyNet is used when omitted")
-    p.add_argument("--engine", default="compiled",
-                   choices=["eager", "compiled"])
-    p.add_argument("--config", default="C", choices=["A", "B", "C"],
-                   help="SkyNet config when no checkpoint is given")
-    p.add_argument("--width", type=float, default=0.25,
-                   help="width multiplier when no checkpoint is given")
-    p.add_argument("--images", type=int, default=32)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--pipeline", action="store_true",
-                   help="run the 4-stage threaded pipeline (fetch, "
-                        "pre-process, DNN, post-process) and compare "
-                        "with the analytic simulator")
-    p.add_argument("--trace", default=None, metavar="PATH",
-                   help="record spans/metrics to a JSONL trace file")
+    _add_infer_options(p, serve=False)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the dynamic-batching inference server under a "
+             "synthetic concurrent load (alias of `infer --serve`)",
+    )
+    _add_infer_options(p, serve=True)
 
     p = sub.add_parser("obs", help="render a saved JSONL trace")
     p.add_argument("trace", help="trace file written by --trace")
@@ -255,14 +298,52 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _serve_load(session, frames, args) -> int:
+    """Push ``frames`` through the dynamic-batching server from
+    ``args.concurrency`` client threads and report scheduling stats."""
+    import threading
+    import time
+
+    futures = [None] * len(frames)
+
+    def client(worker: int) -> None:
+        for i in range(worker, len(frames), args.concurrency):
+            futures[i] = session.submit(frames[i])
+
+    t0 = time.perf_counter()
+    clients = [threading.Thread(target=client, args=(w,), daemon=True)
+               for w in range(args.concurrency)]
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join()
+    results = [f.result(timeout=30.0) for f in futures]
+    wall = time.perf_counter() - t0
+
+    stats = session.server.stats.snapshot()
+    ok = sum(1 for r in results if r.ok)
+    print(f"served {len(results)} requests in {wall * 1e3:.1f} ms "
+          f"({len(results) / wall:.1f} req/s, "
+          f"{args.concurrency} clients, {args.workers} workers)")
+    print(f"  ok {ok}  shed {stats['shed']}  timeouts {stats['timeouts']}  "
+          f"errors {stats['errors']}")
+    print(f"  batches {stats['batches']}  "
+          f"mean batch {session.server.stats.mean_batch_size():.2f}  "
+          f"(flush at {args.batch_size} or {args.max_wait_ms} ms)")
+    lat = [r.latency_ms for r in results if r.ok]
+    if lat:
+        print(f"  latency p50 {np.percentile(lat, 50):.1f} ms  "
+              f"p95 {np.percentile(lat, 95):.1f} ms")
+    return 0
+
+
 def _cmd_infer(args) -> int:
     import time
 
     from .core import SkyNetBackbone
     from .datasets import make_dacsdc
     from .detection import Detector
-    from .detection.head import best_box
-    from .nn import Tensor, no_grad
+    from .runtime import ServeConfig, Session, SessionConfig
 
     if args.checkpoint:
         detector, _ = _load_checkpoint(args.checkpoint)
@@ -274,51 +355,54 @@ def _cmd_infer(args) -> int:
     detector.eval()
     ds = make_dacsdc(args.images, image_hw=(48, 96), seed=args.seed)
 
+    config = SessionConfig(
+        backend="engine" if args.engine == "compiled" else "eager",
+        pipeline=getattr(args, "pipeline", False),
+        microbatch=args.microbatch,
+    )
+    serve_cfg = ServeConfig(
+        queue_depth=args.queue_depth,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        deadline_ms=args.deadline_ms,
+        num_workers=args.workers,
+    )
+    mean = np.float32(0.5)
+    frames = [ds.images[i] for i in range(len(ds.images))]
+
     with _maybe_recording(args.trace):
-        if args.engine == "compiled":
-            t0 = time.perf_counter()
-            net = detector.compile()
-            compile_ms = (time.perf_counter() - t0) * 1e3
-            print(f"compiled {len(net)} kernels in {compile_ms:.1f} ms")
-
-            def forward(batch):
-                return net(batch)
-        else:
-            def forward(batch):
-                with no_grad():
-                    return detector(Tensor(batch)).data
-
-        frames = [ds.images[i : i + 1] for i in range(len(ds.images))]
-        forward(frames[0])  # warm up buffers / BLAS
-        if args.pipeline:
-            from .nn.engine import ThreadedPipeline
-
-            mean = np.float32(0.5)
-            pipe = ThreadedPipeline([
-                ("fetch", lambda f: np.array(f, dtype=np.float32)),
-                ("pre-process", lambda f: f - mean),
-                ("dnn", forward),
-                ("post-process",
-                 lambda raw: best_box(raw, detector.head.anchors)),
-            ])
-            boxes = pipe.run(frames)
-            print(f"pipelined: {len(boxes)} frames in {pipe.wall_ms:.1f} ms "
-                  f"({pipe.fps:.1f} FPS)")
-            for name, ms in pipe.stage_ms.items():
-                print(f"  {name:<13}{ms:7.2f} ms/frame")
-            sim = pipe.to_simulator()
-            serial = sim.run_serial(len(frames))
-            piped = sim.run_pipelined(len(frames))
-            print(f"simulator: serial {serial.fps:.1f} FPS, pipelined "
-                  f"{piped.fps:.1f} FPS (bottleneck: {piped.bottleneck})")
-        else:
-            t0 = time.perf_counter()
-            for frame in frames:
-                best_box(forward(frame - np.float32(0.5)),
-                         detector.head.anchors)
-            wall = time.perf_counter() - t0
-            print(f"{args.engine}: {len(frames)} frames in "
-                  f"{wall * 1e3:.1f} ms ({len(frames) / wall:.1f} FPS)")
+        t0 = time.perf_counter()
+        session = Session.load(detector, config, serve=serve_cfg)
+        load_ms = (time.perf_counter() - t0) * 1e3
+        print(f"session({session.name}) backend={session.backend} "
+              f"loaded in {load_ms:.1f} ms")
+        session.run(frames[0] - mean)  # warm up buffers / BLAS
+        try:
+            if args.serve:
+                _serve_load(session, [f - mean for f in frames], args)
+            elif getattr(args, "pipeline", False):
+                boxes = session.stream(frames,
+                                       preprocess=lambda f: f - mean)
+                pipe = session.last_pipeline
+                print(f"pipelined: {len(boxes)} frames in "
+                      f"{pipe.wall_ms:.1f} ms ({pipe.fps:.1f} FPS)")
+                for name, ms in pipe.stage_ms.items():
+                    print(f"  {name:<13}{ms:7.2f} ms/frame")
+                sim = pipe.to_simulator()
+                serial = sim.run_serial(len(frames))
+                piped = sim.run_pipelined(len(frames))
+                print(f"simulator: serial {serial.fps:.1f} FPS, pipelined "
+                      f"{piped.fps:.1f} FPS (bottleneck: "
+                      f"{piped.bottleneck})")
+            else:
+                t0 = time.perf_counter()
+                for frame in frames:
+                    session.run(frame - mean)
+                wall = time.perf_counter() - t0
+                print(f"{args.engine}: {len(frames)} frames in "
+                      f"{wall * 1e3:.1f} ms ({len(frames) / wall:.1f} FPS)")
+        finally:
+            session.close()
     if args.trace:
         print(f"trace written to {args.trace}")
     return 0
@@ -381,6 +465,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "score": _cmd_score,
     "infer": _cmd_infer,
+    "serve": _cmd_infer,
     "dataset": _cmd_dataset,
     "obs": _cmd_obs,
 }

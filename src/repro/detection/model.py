@@ -4,11 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor, no_grad
+from ..nn import Tensor
 from ..nn.module import Module
-from .head import YoloHead, best_box
+from ..utils.deprecation import warn_once
+from .head import YoloHead
 
 __all__ = ["Detector"]
+
+# Legacy ``engine=`` spellings -> Session backends.
+_ENGINE_TO_BACKEND = {"eager": "eager", "compiled": "engine"}
 
 
 class Detector(Module):
@@ -28,7 +32,8 @@ class Detector(Module):
         super().__init__()
         self.backbone = backbone
         self.head = head if head is not None else YoloHead(backbone.out_channels)
-        self._compiled = None
+        self._sessions: dict = {}
+        self._compiled = None  # legacy compile() cache
 
     @property
     def anchors(self) -> np.ndarray:
@@ -39,46 +44,93 @@ class Detector(Module):
         return self.head(self.backbone(x))
 
     def train(self, mode: bool = True) -> "Detector":
-        # Compiled plans snapshot the weights; any return to training
-        # invalidates the snapshot, so drop it and recompile on demand.
+        # Sessions snapshot compiled weights; any return to training
+        # invalidates the snapshots, so drop them and rebuild on demand.
         if mode:
+            for session in self._sessions.values():
+                session.close()
+            self._sessions = {}
             self._compiled = None
         return super().train(mode)
 
-    def compile(self, arena=None):
-        """Compile the eval-mode forward into a
-        :class:`repro.nn.engine.CompiledNet` (cached until :meth:`train`)."""
-        if self._compiled is None:
-            from ..nn.engine import compile_net
+    # ------------------------------------------------------------------ #
+    # the Session path (and its deprecation shims)
+    # ------------------------------------------------------------------ #
+    def session(self, config=None, serve=None):
+        """The cached :class:`~repro.runtime.Session` for ``config``.
 
+        Sessions are keyed by their (frozen, hashable) config and are
+        invalidated by :meth:`train`.
+        """
+        from ..runtime import Session, SessionConfig, eager_forced
+
+        config = config if config is not None else SessionConfig()
+        if eager_forced():
+            # Quantization contexts perturb live weights: cached engine
+            # sessions hold stale snapshots, and caching an eager one
+            # here would shadow the engine path after the context ends.
+            return Session.load(self, config, serve=serve)
+        session = self._sessions.get(config)
+        if session is None:
+            session = Session.load(self, config, serve=serve)
+            self._sessions[config] = session
+        return session
+
+    def predict(self, images: np.ndarray, config=None, *,
+                engine: str | None = None) -> np.ndarray:
+        """Inference: (N, 3, H, W) images -> (N, 4) cxcywh boxes.
+
+        ``config`` is a :class:`~repro.runtime.SessionConfig` selecting
+        the backend (compiled engine by default).  The ``engine=``
+        keyword is a deprecated alias: ``"compiled"`` maps to
+        ``SessionConfig(backend="engine")`` and ``"eager"`` to
+        ``SessionConfig(backend="eager")``.
+        """
+        from ..runtime import SessionConfig
+
+        if engine is not None:
+            backend = _ENGINE_TO_BACKEND.get(engine)
+            if backend is None:
+                raise ValueError(f"unknown engine {engine!r}")
+            warn_once(
+                "Detector.predict.engine",
+                "Detector.predict(engine=...) is deprecated; pass "
+                "config=SessionConfig(backend='engine'|'eager') instead",
+            )
+            if config is not None:
+                raise TypeError("pass either config= or engine=, not both")
+            config = SessionConfig(backend=backend,
+                                   fallback=backend == "eager")
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            return self.session(config).run(images)
+        finally:
+            if was_training:
+                self.train()
+
+    def compile(self, arena=None):
+        """Deprecated: compile the eval-mode forward into a
+        :class:`repro.nn.engine.CompiledNet` (cached until :meth:`train`).
+
+        Use ``Session.load(detector)`` instead — sessions own
+        compilation, thread cloning and the eager fallback.
+        """
+        warn_once(
+            "Detector.compile",
+            "Detector.compile() is deprecated; use "
+            "repro.runtime.Session.load(detector) instead",
+        )
+        from ..nn.engine import compile_net
+
+        if self._compiled is None:
             was_training = self.training
             self.eval()
             net = compile_net(
                 self, name=type(self.backbone).__name__, arena=arena
             )
             if was_training:
-                self.train()  # clears the cache; reassign below
+                self.train()
             self._compiled = net
         return self._compiled
-
-    def predict(self, images: np.ndarray, engine: str = "eager") -> np.ndarray:
-        """Inference: (N, 3, H, W) images -> (N, 4) cxcywh boxes.
-
-        ``engine='compiled'`` routes the forward through the fused
-        inference plan from :meth:`compile` instead of the autograd
-        substrate; outputs match to float32 round-off.
-        """
-        if engine == "compiled":
-            raw = self.compile()(images)
-        elif engine == "eager":
-            was_training = self.training
-            self.eval()
-            try:
-                with no_grad():
-                    raw = self.forward(Tensor(images)).data
-            finally:
-                if was_training:
-                    self.train()
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
-        return best_box(raw, self.head.anchors)

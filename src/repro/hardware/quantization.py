@@ -85,18 +85,24 @@ def weight_quantization(
 
     The original float weights are restored on exit.
     """
+    from ..runtime import eager_inference
+
     if (bits is None) == (bits_for is None):
         raise ValueError("pass exactly one of `bits` or `bits_for`")
     policy = (lambda _name: bits) if bits_for is None else bits_for
     backups: list[tuple[object, np.ndarray]] = []
     try:
-        for name, p in model.named_parameters():
-            b = policy(name)
-            if b is None:
-                continue
-            backups.append((p, p.data.copy()))
-            p.data = quantize_fixed(p.data, b)
-        yield model
+        # Pin inference to the eager path: a compiled plan would
+        # snapshot the quantized weights into a cache that outlives
+        # this context.
+        with eager_inference():
+            for name, p in model.named_parameters():
+                b = policy(name)
+                if b is None:
+                    continue
+                backups.append((p, p.data.copy()))
+                p.data = quantize_fixed(p.data, b)
+            yield model
     finally:
         for p, original in backups:
             p.data = original
@@ -104,10 +110,18 @@ def weight_quantization(
 
 @contextmanager
 def feature_map_quantization(bits: int) -> Iterator[None]:
-    """Quantize every activation output to ``bits``-bit fixed point."""
+    """Quantize every activation output to ``bits``-bit fixed point.
+
+    The hook lives on the eager activation layers, so inference is
+    pinned to the eager backend for the duration — the compiled engine
+    would silently skip it.
+    """
+    from ..runtime import eager_inference
+
     set_fm_hook(lambda a: quantize_fixed(a, bits))
     try:
-        yield
+        with eager_inference():
+            yield
     finally:
         set_fm_hook(None)
 

@@ -401,6 +401,21 @@ class CompiledNet:
         return np.array(regs[self.out_reg], copy=True)
 
     # ------------------------------------------------------------------ #
+    def clone_for_thread(self) -> "CompiledNet":
+        """A clone sharing this plan's kernels but owning a fresh arena.
+
+        The kernels and their weights are immutable at run time, so they
+        are safe to share; the :class:`BufferArena` is not — two threads
+        running the same plan concurrently would overwrite each other's
+        scratch buffers mid-forward.  Give each worker thread its own
+        clone and the plan becomes freely parallelizable (this is what
+        :class:`repro.serve.InferenceServer` does per worker).
+        """
+        return CompiledNet(
+            self.steps, self.n_regs, self.out_reg, self.name,
+            arena=BufferArena(),
+        )
+
     def __len__(self) -> int:
         return len(self.steps)
 

@@ -1,0 +1,107 @@
+"""Frozen configuration dataclasses for the inference runtime.
+
+These replace the loose keyword arguments that used to be scattered
+across ``Detector.predict(engine=...)``, ``SiamFCTracker(engine=...)``
+and the CLI option blocks: one hashable, validated value object per
+concern.  :class:`SessionConfig` says *how a forward runs* (which
+backend, batch tiling, pipelining); :class:`ServeConfig` says *how a
+server schedules requests* (queue bound, batching window, deadlines,
+workers).  Both are frozen so they can key session caches and be shared
+freely across threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BACKENDS", "ServeConfig", "SessionConfig"]
+
+#: Valid ``SessionConfig.backend`` values: the compiled inference engine
+#: (:mod:`repro.nn.engine`) or the eager autograd forward under
+#: ``no_grad``.
+BACKENDS = ("engine", "eager")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """How a :class:`~repro.runtime.Session` executes a forward pass.
+
+    Parameters
+    ----------
+    backend:
+        ``"engine"`` compiles the model into a
+        :class:`~repro.nn.engine.CompiledNet`; ``"eager"`` runs the
+        autograd forward under ``no_grad``.
+    pipeline:
+        Route :meth:`Session.stream` through the 4-stage
+        :class:`~repro.nn.engine.ThreadedPipeline` (fetch, pre-process,
+        DNN, post-process) instead of a serial loop.
+    microbatch:
+        Split batches larger than this into sequential tiles before the
+        forward (``0`` = never split).  On cache-starved hosts a large
+        batch can run *slower* per frame than several small ones; tiling
+        keeps the dynamic batcher's scheduling win without the memory
+        penalty.  Outputs are bit-identical to the untiled forward per
+        sample for the compiled engine.
+    fallback:
+        When the engine backend cannot compile the model
+        (:class:`~repro.nn.engine.CompileError`), degrade to the eager
+        path with a warning instead of raising.
+    """
+
+    backend: str = "engine"
+    pipeline: bool = False
+    microbatch: int = 0
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if self.microbatch < 0:
+            raise ValueError("microbatch must be >= 0 (0 disables tiling)")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduling policy of a :class:`~repro.serve.InferenceServer`.
+
+    Parameters
+    ----------
+    queue_depth:
+        Bound on the request queue.  Submissions beyond it are *shed*
+        immediately (503-style result) — the caller is never blocked.
+    max_batch_size:
+        Flush a forming batch as soon as it reaches this many requests.
+    max_wait_ms:
+        ... or as soon as the oldest request in it has waited this long,
+        whichever happens first.
+    deadline_ms:
+        Default per-request deadline; a request still queued past its
+        deadline gets a timeout result (504-style) instead of running.
+        ``None`` = no deadline.  ``submit(deadline_ms=...)`` overrides.
+    num_workers:
+        Worker threads, each with its own engine clone (and therefore
+        its own :class:`~repro.nn.engine.BufferArena` — arenas are never
+        shared across threads).
+    """
+
+    queue_depth: int = 64
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    deadline_ms: float | None = None
+    num_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")

@@ -1,0 +1,335 @@
+"""The :class:`Session` facade — the one way to run inference.
+
+Before this module existed the repository had four inference entrypoints
+with different spellings: ``Detector.predict(engine=...)``,
+``SiamFCTracker(engine=...)``, ``compile_extractor`` and the CLI's
+``--engine`` flag.  A Session unifies them::
+
+    session = Session.load(detector)            # compiles, or falls
+    boxes = session.run(images)                 # back to eager
+    future = session.submit(image)              # dynamic-batching server
+    result = future.result(timeout=1.0)
+
+``Session.load`` accepts a :class:`~repro.detection.model.Detector`
+(results are decoded boxes), a Siamese model exposing ``extract``
+(results are feature maps), a plain :class:`~repro.nn.module.Module`, or
+an already-compiled :class:`~repro.nn.engine.CompiledNet`.  The
+``engine`` backend compiles through :func:`repro.nn.engine.compile_net`;
+when compilation is impossible the session degrades to the eager
+``no_grad`` path (``SessionConfig.fallback``) so a served model never
+hard-fails at load time for want of a compilation rule.
+
+Sessions are cheap façades over shared immutable state (compiled plans
+share kernels across thread clones), so every worker thread of an
+:class:`~repro.serve.InferenceServer` gets its own runner via
+:meth:`Session.runner_for_thread` — buffer arenas are never shared
+across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+
+import numpy as np
+
+from .. import obs
+from .config import ServeConfig, SessionConfig
+
+__all__ = ["Session", "eager_forced", "eager_inference"]
+
+_EAGER_PIN = threading.local()
+
+
+@contextmanager
+def eager_inference():
+    """Pin sessions loaded in this thread/block to the eager backend.
+
+    For code that temporarily perturbs live model state — the
+    fixed-point quantization contexts mutate weights in place and hook
+    eager activation outputs (:mod:`repro.nn.quant_hooks`).  A compiled
+    plan would snapshot the mutated weights (outliving the context
+    through session caches) and bypass the feature-map hook entirely;
+    the eager path reads live state, so it is the only honest backend
+    while such a context is active.  Nestable.
+    """
+    _EAGER_PIN.depth = getattr(_EAGER_PIN, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _EAGER_PIN.depth -= 1
+
+
+def eager_forced() -> bool:
+    """Is an :func:`eager_inference` block active on this thread?"""
+    return getattr(_EAGER_PIN, "depth", 0) > 0
+
+
+class Session:
+    """A loaded model plus a resolved execution backend.
+
+    Construct through :meth:`load`; the constructor is an implementation
+    detail.  ``run`` is the synchronous path, ``submit`` the asynchronous
+    dynamic-batching path (lazily starting an
+    :class:`~repro.serve.InferenceServer`).
+    """
+
+    def __init__(
+        self,
+        model,
+        config: SessionConfig,
+        backend: str,
+        forward,
+        clone_forward,
+        postprocess,
+        name: str,
+    ) -> None:
+        self.model = model
+        self.config = config
+        #: The backend actually in use — ``"eager"`` when the engine
+        #: backend was requested but compilation fell back.
+        self.backend = backend
+        self.name = name
+        self.last_pipeline = None
+        self._forward = forward
+        self._clone_forward = clone_forward
+        self._postprocess = postprocess
+        self._server = None
+        self._serve_config = ServeConfig()
+        self._server_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(
+        cls,
+        model,
+        config: SessionConfig | None = None,
+        serve: ServeConfig | None = None,
+    ) -> "Session":
+        """Resolve ``model`` into a runnable session.
+
+        Parameters
+        ----------
+        model:
+            A ``Detector`` (run/submit return decoded cxcywh boxes), a
+            Siamese model with an ``extract`` method (results are
+            adjusted feature maps), any compilable ``Module`` (raw
+            outputs), or a pre-built ``CompiledNet``.
+        config:
+            Execution config; defaults to ``SessionConfig()`` (compiled
+            engine, eager fallback on :class:`CompileError`).
+        serve:
+            Scheduling config for :meth:`submit`; defaults to
+            ``ServeConfig()``.
+        """
+        from ..nn.engine import CompiledNet, CompileError
+        from ..nn.module import Module
+
+        config = config if config is not None else SessionConfig()
+        postprocess = None
+        name = type(model).__name__
+
+        if isinstance(model, CompiledNet):
+            session = cls(
+                model, config, "engine",
+                forward=model,
+                clone_forward=lambda: model.clone_for_thread(),
+                postprocess=None,
+                name=model.name,
+            )
+        else:
+            if not isinstance(model, Module):
+                raise TypeError(
+                    f"Session.load expects a Module or CompiledNet, got "
+                    f"{type(model).__name__}"
+                )
+            if model.training:
+                model.eval()
+            target, postprocess, compile_target = cls._resolve(model)
+            backend = config.backend
+            if backend == "engine" and eager_forced():
+                obs.inc("runtime/eager_pinned")
+                backend = "eager"
+            net = None
+            if backend == "engine":
+                try:
+                    net = compile_target()
+                except CompileError as exc:
+                    if not config.fallback:
+                        raise
+                    warnings.warn(
+                        f"Session: cannot compile {name} "
+                        f"({exc}); falling back to the eager backend",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    obs.inc("runtime/eager_fallback")
+                    backend = "eager"
+            if backend == "engine":
+                forward = net
+                clone_forward = net.clone_for_thread
+            else:
+                forward = target
+                clone_forward = lambda: target  # noqa: E731 - stateless
+            session = cls(model, config, backend, forward, clone_forward,
+                          postprocess, name)
+        if serve is not None:
+            session._serve_config = serve
+        obs.inc(f"runtime/sessions/{session.backend}")
+        return session
+
+    @staticmethod
+    def _resolve(model):
+        """Pick the forward target for ``model``: (eager_fn,
+        postprocess, compile_fn)."""
+        from ..detection.head import best_box
+        from ..detection.model import Detector
+        from ..nn import Tensor, no_grad
+        from ..nn.engine import compile_net
+
+        if isinstance(model, Detector):
+            def eager(x: np.ndarray) -> np.ndarray:
+                with no_grad():
+                    return model.forward(Tensor(x)).data
+
+            def postprocess(raw: np.ndarray) -> np.ndarray:
+                return best_box(raw, model.head.anchors)
+
+            def compile_target():
+                return compile_net(
+                    model, name=type(model.backbone).__name__
+                )
+
+            return eager, postprocess, compile_target
+
+        if hasattr(model, "extract"):  # Siamese trackers
+            from ..tracking.siamese import compile_extractor
+
+            def eager(x: np.ndarray) -> np.ndarray:
+                with no_grad():
+                    return model.extract(Tensor(x)).data
+
+            return eager, None, lambda: compile_extractor(model)
+
+        def eager(x: np.ndarray) -> np.ndarray:
+            with no_grad():
+                return model(Tensor(x)).data
+
+        return eager, None, lambda: compile_net(model)
+
+    # ------------------------------------------------------------------ #
+    # synchronous path
+    # ------------------------------------------------------------------ #
+    def _run_batch(self, x: np.ndarray) -> np.ndarray:
+        """Forward + postprocess with microbatch tiling, thread-agnostic
+        via ``fn``: used by both :meth:`run` and server workers."""
+        return _tiled(self._forward, self._postprocess, x,
+                      self.config.microbatch)
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        """Synchronous inference on ``(N, C, H, W)`` images (a single
+        ``(C, H, W)`` image is auto-promoted and the result unwrapped).
+        """
+        x = np.asarray(batch, dtype=np.float32)
+        single = x.ndim == 3
+        if single:
+            x = x[None]
+        with obs.span("runtime/run", session=self.name,
+                      backend=self.backend, batch=x.shape[0]):
+            out = self._run_batch(x)
+        return out[0] if single else out
+
+    def stream(self, frames, preprocess=None) -> list:
+        """Run an ordered stream of single frames.
+
+        With ``config.pipeline`` the stream goes through the 4-stage
+        :class:`~repro.nn.engine.ThreadedPipeline` (fetch, pre-process,
+        DNN, post-process) — the TX2 schedule; the pipeline object is
+        kept on :attr:`last_pipeline` for stage timings.  Otherwise the
+        frames run serially through :meth:`run`.
+        """
+        if not self.config.pipeline:
+            return [self.run(f) for f in frames]
+
+        from ..nn.engine import ThreadedPipeline
+
+        post = self._postprocess
+        pipe = ThreadedPipeline([
+            ("fetch", lambda f: np.asarray(f, dtype=np.float32)),
+            ("pre-process",
+             preprocess if preprocess is not None else (lambda f: f)),
+            ("dnn", lambda f: self._forward(f if f.ndim == 4 else f[None])),
+            ("post-process",
+             (lambda raw: post(raw)) if post is not None else (lambda r: r)),
+        ])
+        outputs = pipe.run(frames)
+        self.last_pipeline = pipe
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # asynchronous (serving) path
+    # ------------------------------------------------------------------ #
+    def runner_for_thread(self):
+        """A batch-runner callable safe to own by one worker thread."""
+        fn = self._clone_forward()
+        post = self._postprocess
+        microbatch = self.config.microbatch
+
+        def runner(x: np.ndarray) -> np.ndarray:
+            return _tiled(fn, post, x, microbatch)
+
+        return runner
+
+    @property
+    def server(self):
+        """The lazily-started :class:`~repro.serve.InferenceServer`
+        behind :meth:`submit` (``None`` until the first submit)."""
+        return self._server
+
+    def submit(self, image: np.ndarray, deadline_ms: float | None = None):
+        """Queue one image on the dynamic-batching server; returns a
+        :class:`concurrent.futures.Future` resolving to a
+        :class:`~repro.serve.ServeResult`.  Never blocks: a full queue
+        sheds the request with an immediate 503-style result.
+        """
+        if self._server is None:
+            with self._server_lock:
+                if self._server is None:
+                    from ..serve import InferenceServer
+
+                    self._server = InferenceServer(
+                        self.runner_for_thread, self._serve_config,
+                        name=self.name,
+                    )
+        return self._server.submit(image, deadline_ms=deadline_ms)
+
+    def close(self) -> None:
+        """Stop the serving threads (idempotent); ``run`` keeps working."""
+        if self._server is not None:
+            self._server.stop()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session({self.name}, backend={self.backend!r}, "
+                f"serving={self._server is not None})")
+
+
+def _tiled(forward, postprocess, x: np.ndarray, microbatch: int) -> np.ndarray:
+    """Apply ``forward`` (+ ``postprocess``) in microbatch tiles."""
+    n = x.shape[0]
+    if microbatch and n > microbatch:
+        outs = []
+        for i in range(0, n, microbatch):
+            raw = forward(x[i : i + microbatch])
+            outs.append(raw if postprocess is None else postprocess(raw))
+        return np.concatenate(outs, axis=0)
+    raw = forward(x)
+    return raw if postprocess is None else postprocess(raw)

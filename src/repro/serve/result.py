@@ -1,0 +1,78 @@
+"""Request/response value objects of the inference server.
+
+Every submitted request resolves its future with a :class:`ServeResult`
+— never an exception and never silence — so a caller can always
+``future.result(timeout=...)`` and branch on ``status``.  Statuses map
+onto the HTTP codes an RPC front-end would emit: a shed request is a
+503 (the bounded queue is the overload breaker), an expired deadline is
+a 504, a worker crash is a 500.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_SHUTDOWN",
+    "STATUS_TIMEOUT",
+    "ServeResult",
+]
+
+STATUS_OK = "ok"
+STATUS_SHED = "shed"          # queue full at submit -> 503
+STATUS_TIMEOUT = "timeout"    # deadline expired in queue -> 504
+STATUS_ERROR = "error"        # runner raised -> 500
+STATUS_SHUTDOWN = "shutdown"  # server stopped before the request ran
+
+_CODES = {
+    STATUS_OK: 200,
+    STATUS_ERROR: 500,
+    STATUS_SHED: 503,
+    STATUS_SHUTDOWN: 503,
+    STATUS_TIMEOUT: 504,
+}
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served request.
+
+    Attributes
+    ----------
+    status:
+        One of the ``STATUS_*`` constants.
+    value:
+        The model output for this request (``None`` unless ``ok``).
+    code:
+        HTTP-style status code derived from ``status``.
+    error:
+        Stringified worker exception for ``error`` results.
+    latency_ms:
+        Submit-to-resolve wall time.
+    batch_size:
+        Size of the dynamic batch this request ran in (0 if it never
+        ran).
+    """
+
+    status: str
+    value: np.ndarray | None = None
+    error: str | None = None
+    latency_ms: float = 0.0
+    batch_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in _CODES:
+            raise ValueError(f"unknown result status {self.status!r}")
+
+    @property
+    def code(self) -> int:
+        return _CODES[self.status]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK

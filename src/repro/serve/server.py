@@ -1,0 +1,311 @@
+"""Threaded dynamic-batching inference server.
+
+The deployment story of the paper is a saturation problem: the TX2
+keeps its DNN stage busy by overlapping four system stages, the Ultra96
+by processing several images per accelerator call (Sec. 5).  Under a
+*stream of concurrent requests* the same lever is dynamic batching:
+requests park in a bounded queue, a worker coalesces them into a batch
+— flushing when the batch is full (``max_batch_size``) or the oldest
+request has waited long enough (``max_wait_ms``), whichever comes first
+— and one forward serves the whole batch.
+
+Overload policy is explicit and non-blocking:
+
+* a full queue **sheds** new requests immediately (503-style result) —
+  ``submit`` never blocks the caller;
+* a request whose **deadline** passes while queued resolves with a
+  timeout result (504-style) instead of occupying a worker;
+* a worker exception resolves the whole batch with error results and
+  the worker keeps serving;
+* ``stop()`` resolves everything still queued with shutdown results, so
+  no future is ever left dangling.
+
+Each worker owns its runner (for compiled plans: a
+:meth:`~repro.nn.engine.CompiledNet.clone_for_thread` clone), so buffer
+arenas are never shared across threads.  Everything is observable
+through :mod:`repro.obs`: ``serve/queue_depth`` gauge,
+``serve/batch_size`` histogram, ``serve/shed`` / ``serve/timeout`` /
+``serve/completed`` counters, and a ``serve/batch`` span per forward.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+
+import numpy as np
+
+from .. import obs
+from ..runtime.config import ServeConfig
+from .result import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_SHUTDOWN,
+    STATUS_TIMEOUT,
+    ServeResult,
+)
+
+__all__ = ["InferenceServer", "ServerStats"]
+
+
+class ServerStats:
+    """Thread-safe request accounting for one server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0  # completed + errored, for batch sizing
+
+    def add(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+                "batches": self.batches,
+                "mean_batch_size": (
+                    self.batched_requests / self.batches if self.batches
+                    else 0.0
+                ),
+            }
+
+
+class _Request:
+    __slots__ = ("image", "future", "submitted_at", "deadline_at")
+
+    def __init__(self, image, future, submitted_at, deadline_at) -> None:
+        self.image = image
+        self.future = future
+        self.submitted_at = submitted_at
+        self.deadline_at = deadline_at
+
+
+class InferenceServer:
+    """Bounded queue + dynamic batcher + worker pool over a runner.
+
+    Parameters
+    ----------
+    runner_factory:
+        Zero-argument callable returning a *batch runner*: a callable
+        mapping an ``(N, C, H, W)`` ndarray to an output array with a
+        leading batch dimension.  Called once per worker thread so every
+        worker owns its runner (see
+        :meth:`repro.runtime.Session.runner_for_thread`).
+    config:
+        The :class:`~repro.runtime.ServeConfig` scheduling policy.
+    name:
+        Label used in spans and the repr.
+    """
+
+    def __init__(
+        self,
+        runner_factory,
+        config: ServeConfig | None = None,
+        name: str = "model",
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.name = name
+        self.stats = ServerStats()
+        self._runner_factory = runner_factory
+        self._queue: queue.Queue[_Request] = queue.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._stopping = threading.Event()
+        self._workers = [
+            threading.Thread(
+                target=self._worker, args=(i,), daemon=True,
+                name=f"serve-{name}-{i}",
+            )
+            for i in range(self.config.num_workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, image: np.ndarray, deadline_ms: float | None = None
+    ) -> Future:
+        """Queue one ``(C, H, W)`` or ``(1, C, H, W)`` image.
+
+        Returns a future resolving to a :class:`ServeResult`.  Never
+        blocks: if the queue is full the request is shed right here with
+        a 503-style result, and after :meth:`stop` every submission
+        resolves as shutdown.
+        """
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim == 3:
+            image = image[None]
+        if image.ndim != 4 or image.shape[0] != 1:
+            raise ValueError(
+                "submit takes one image per request: (C, H, W) or "
+                f"(1, C, H, W), got shape {image.shape}"
+            )
+        future: Future = Future()
+        now = time.perf_counter()
+        self.stats.add("submitted")
+        if self._stopping.is_set():
+            future.set_result(ServeResult(STATUS_SHUTDOWN))
+            return future
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        deadline_at = None if deadline_ms is None else now + deadline_ms / 1e3
+        request = _Request(image, future, now, deadline_at)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats.add("shed")
+            obs.inc("serve/shed")
+            future.set_result(ServeResult(STATUS_SHED))
+            return future
+        obs.inc("serve/requests")
+        obs.set_gauge("serve/queue_depth", self._queue.qsize())
+        return future
+
+    def stop(self) -> None:
+        """Stop the workers and fail queued requests fast (idempotent).
+
+        Requests already inside a worker's batch finish normally; the
+        rest resolve with shutdown results so no caller ever hangs on a
+        dangling future.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        for t in self._workers:
+            t.join()
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            _resolve(request.future, ServeResult(STATUS_SHUTDOWN))
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InferenceServer({self.name}, "
+                f"workers={self.config.num_workers}, "
+                f"queued={self._queue.qsize()})")
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _worker(self, index: int) -> None:
+        runner = self._runner_factory()
+        while not self._stopping.is_set():
+            try:
+                first = self._queue.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            batch = self._fill_batch(first)
+            self._run_batch(runner, batch, index)
+
+    def _fill_batch(self, first: _Request) -> list[_Request]:
+        """Coalesce requests: flush on ``max_batch_size`` or on the
+        ``max_wait_ms`` window from the first dequeue, whichever first."""
+        batch = [first]
+        flush_at = time.perf_counter() + self.config.max_wait_ms / 1e3
+        while len(batch) < self.config.max_batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except queue.Empty:
+                pass
+            remaining = flush_at - time.perf_counter()
+            if remaining <= 0 or self._stopping.is_set():
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _run_batch(
+        self, runner, batch: list[_Request], worker: int
+    ) -> None:
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline_at is not None and now > request.deadline_at:
+                self.stats.add("timeouts")
+                obs.inc("serve/timeout")
+                _resolve(
+                    request.future,
+                    ServeResult(
+                        STATUS_TIMEOUT,
+                        latency_ms=(now - request.submitted_at) * 1e3,
+                    ),
+                )
+            else:
+                live.append(request)
+        obs.set_gauge("serve/queue_depth", self._queue.qsize())
+        if not live:
+            return
+
+        x = (live[0].image if len(live) == 1
+             else np.concatenate([r.image for r in live], axis=0))
+        try:
+            with obs.span("serve/batch", server=self.name, worker=worker,
+                          batch=len(live)):
+                out = runner(x)
+        except Exception as exc:  # worker survives a bad batch
+            self.stats.add("errors", len(live))
+            obs.inc("serve/errors", len(live))
+            done = time.perf_counter()
+            for request in live:
+                _resolve(
+                    request.future,
+                    ServeResult(
+                        STATUS_ERROR, error=f"{type(exc).__name__}: {exc}",
+                        latency_ms=(done - request.submitted_at) * 1e3,
+                        batch_size=len(live),
+                    ),
+                )
+            return
+        done = time.perf_counter()
+        self.stats.add("completed", len(live))
+        self.stats.add("batches")
+        self.stats.add("batched_requests", len(live))
+        obs.inc("serve/completed", len(live))
+        obs.observe("serve/batch_size", len(live))
+        for i, request in enumerate(live):
+            _resolve(
+                request.future,
+                ServeResult(
+                    STATUS_OK, value=out[i],
+                    latency_ms=(done - request.submitted_at) * 1e3,
+                    batch_size=len(live),
+                ),
+            )
+
+
+def _resolve(future: Future, result: ServeResult) -> None:
+    """Resolve a future exactly once (stop() can race a live worker)."""
+    try:
+        future.set_result(result)
+    except InvalidStateError:  # pragma: no cover - benign shutdown race
+        pass

@@ -144,16 +144,36 @@ class SiamFCTracker:
         scales: tuple[float, ...] = (0.96, 1.0, 1.04),
         window_influence: float = 0.35,
         scale_lr: float = 0.4,
-        engine: str = "eager",
+        engine: str | None = None,
+        config=None,
     ) -> None:
-        if engine not in ("eager", "compiled"):
-            raise ValueError(f"unknown engine {engine!r}")
+        from ..runtime import SessionConfig
+        from ..utils.deprecation import warn_once
+
+        if engine is not None:
+            if engine not in ("eager", "compiled"):
+                raise ValueError(f"unknown engine {engine!r}")
+            warn_once(
+                "SiamFCTracker.engine",
+                "SiamFCTracker(engine=...) is deprecated; pass "
+                "config=SessionConfig(backend='engine'|'eager') instead",
+            )
+            if config is not None:
+                raise TypeError("pass either config= or engine=, not both")
+            config = SessionConfig(
+                backend="engine" if engine == "compiled" else "eager",
+                fallback=engine == "eager",
+            )
+        # Trackers default to the eager path: feature extraction runs on
+        # two crop geometries and frame-rate batches of one, where the
+        # compile step only pays off over long sequences.
+        self.config = (config if config is not None
+                       else SessionConfig(backend="eager"))
         self.model = model
         self.scales = scales
         self.window_influence = window_influence
         self.scale_lr = scale_lr
-        self.engine = engine
-        self._extractor = None
+        self._session = None
         r = model.response
         hann = np.hanning(r + 2)[1:-1]
         self.window = np.outer(hann, hann)
@@ -162,16 +182,19 @@ class SiamFCTracker:
         self.center = (0.5, 0.5)
         self.size = (0.1, 0.1)
 
-    def _extract(self, crop: np.ndarray) -> Tensor:
-        """Features for one (1, 3, S, S) crop via the selected engine."""
-        if self.engine == "compiled":
-            if self._extractor is None:
-                from .siamese import compile_extractor
+    @property
+    def session(self):
+        """The tracker's feature-extraction
+        :class:`~repro.runtime.Session` (built on first use)."""
+        if self._session is None:
+            from ..runtime import Session
 
-                self._extractor = compile_extractor(self.model)
-            return Tensor(self._extractor(crop))
-        with no_grad():
-            return self.model.extract(Tensor(crop))
+            self._session = Session.load(self.model, self.config)
+        return self._session
+
+    def _extract(self, crop: np.ndarray) -> Tensor:
+        """Features for one (1, 3, S, S) crop via the session backend."""
+        return Tensor(self.session.run(crop))
 
     def init(self, frame: np.ndarray, box_cxcywh: np.ndarray) -> None:
         cx, cy, w, h = [float(v) for v in box_cxcywh]

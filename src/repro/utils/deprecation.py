@@ -1,0 +1,34 @@
+"""One-shot deprecation warnings for legacy API shims.
+
+The old inference entrypoints (``Detector.predict(engine=...)``,
+``Detector.compile()``, ``SiamFCTracker(engine=...)``) forward to the
+:class:`repro.runtime.Session` API but keep working; each warns exactly
+once per process so a migration is loud in logs without drowning a hot
+loop in repeats.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+__all__ = ["reset_warned", "warn_once"]
+
+_WARNED: set[str] = set()
+_LOCK = threading.Lock()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is
+    seen in this process."""
+    with _LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_warned() -> None:
+    """Forget past warnings (so tests can assert each shim warns)."""
+    with _LOCK:
+        _WARNED.clear()

@@ -155,6 +155,45 @@ class TestArena:
         arena.clear()
         assert len(arena) == 0
 
+    def test_clone_for_thread_shares_plan_not_arena(self, rng):
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        clone = net.clone_for_thread()
+        assert clone.steps is net.steps  # kernels/plan shared
+        assert clone.arena is not net.arena  # buffers are not
+        x = rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+        np.testing.assert_array_equal(clone(x), net(x))
+
+    def test_clones_are_thread_safe(self, rng):
+        """Two threads on per-thread clones reproduce the serial
+        results exactly; a shared arena would corrupt them."""
+        import threading
+
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        _randomize_bn_stats(bb, rng)
+        bb.eval()
+        net = compile_net(bb)
+        inputs = [rng.normal(0, 1, (1, 3, 16, 32)).astype(np.float32)
+                  for _ in range(16)]
+        serial = [net(x) for x in inputs]
+
+        outputs = [None] * len(inputs)
+
+        def worker(start: int) -> None:
+            clone = net.clone_for_thread()
+            for i in range(start, len(inputs), 2):
+                outputs[i] = clone(inputs[i])
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for got, want in zip(outputs, serial):
+            np.testing.assert_array_equal(got, want)
+
 
 class TestEnginePools:
     """Pool kernels use tap-accumulation; pin them to the eager ops."""
