@@ -33,5 +33,6 @@ __all__ = [
     "tracking",
     "runtime",
     "serve",
+    "resilience",
     "utils",
 ]

@@ -69,6 +69,13 @@ def _add_infer_options(p: argparse.ArgumentParser, serve: bool) -> None:
                    help="split batches into tiles of this size before "
                         "the forward (0 = off); useful on cache-starved "
                         "hosts")
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-run a failed batch this many times "
+                        "(exponential backoff; 0 = fail fast)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive engine failures before the circuit "
+                        "breaker fails over to the eager runner "
+                        "(0 disables the breaker)")
     if not serve:
         p.add_argument("--pipeline", action="store_true",
                        help="run the 4-stage threaded pipeline (fetch, "
@@ -98,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--images", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="skynet.npz")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="write atomic, checksummed per-epoch checkpoints "
+                        "here (full model/optimizer/RNG state)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest good checkpoint in "
+                        "--checkpoint-dir (corrupt ones are skipped)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record spans/metrics to a JSONL trace file")
 
@@ -187,10 +200,15 @@ def _cmd_train(args) -> int:
         head=YoloHead(backbone.out_channels, anchors,
                       rng=np.random.default_rng(args.seed + 1)),
     )
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir")
+        return 2
     with _maybe_recording(args.trace):
         result = DetectionTrainer(
             detector,
-            TrainConfig(epochs=args.epochs, batch_size=16, seed=args.seed),
+            TrainConfig(epochs=args.epochs, batch_size=16, seed=args.seed,
+                        checkpoint_dir=args.checkpoint_dir,
+                        resume=args.resume),
         ).fit(train, val)
     if args.trace:
         print(f"trace written to {args.trace}")
@@ -334,6 +352,12 @@ def _serve_load(session, frames, args) -> int:
     if lat:
         print(f"  latency p50 {np.percentile(lat, 50):.1f} ms  "
               f"p95 {np.percentile(lat, 95):.1f} ms")
+    health = session.health()
+    breaker = health.get("breaker")
+    print(f"  health {health['status']}  workers "
+          f"{health['workers_alive']}/{health['workers_total']}  "
+          f"retries {stats['retries']}  respawns {stats['respawns']}"
+          + (f"  breaker {breaker['state']}" if breaker else ""))
     return 0
 
 
@@ -366,6 +390,8 @@ def _cmd_infer(args) -> int:
         max_wait_ms=args.max_wait_ms,
         deadline_ms=args.deadline_ms,
         num_workers=args.workers,
+        max_retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
     )
     mean = np.float32(0.5)
     frames = [ds.images[i] for i in range(len(ds.images))]

@@ -20,6 +20,9 @@ from ..datasets.augment import augment_batch, multiscale_size, resize_bilinear
 from ..datasets.dacsdc import DetectionDataset
 from ..nn import Tensor
 from ..nn.optim import SGD, Adam, ExponentialDecay
+from ..resilience import faults
+from ..resilience.anomaly import AnomalyGuard
+from ..resilience.checkpoint import CheckpointManager
 from ..utils.rng import default_rng
 from .loss import YoloLoss
 from .metrics import evaluate_detector
@@ -36,6 +39,15 @@ class TrainConfig:
     paper's schedule shape (geometric 1e-4 -> 1e-7 decay scaled up for
     the small synthetic task); ``'adam'`` converges faster on tiny
     models and is the default for budgeted benches.
+
+    Resilience knobs: ``checkpoint_dir`` turns on durable per-epoch
+    checkpoints (atomic + checksummed, full model/optimizer/scheduler/
+    RNG state — see :class:`repro.resilience.CheckpointManager`);
+    ``resume=True`` restarts from the newest *good* checkpoint in that
+    directory (corrupt ones are skipped by checksum).  The
+    ``anomaly_guard`` (on by default) catches NaN/inf losses or
+    gradients before ``opt.step()``, rolls the model back to the last
+    good step, and halves the learning rate instead of diverging.
     """
 
     epochs: int = 12
@@ -50,6 +62,13 @@ class TrainConfig:
     multiscale_scales: tuple[float, ...] = (0.75, 1.0, 1.25)
     eval_every: int = 0  # 0 = only at the end
     seed: int = 0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1  # epochs between checkpoints
+    keep_checkpoints: int = 3
+    resume: bool = False
+    anomaly_guard: bool = True
+    anomaly_lr_factor: float = 0.5
+    anomaly_lr_min: float = 1e-8
 
 
 @dataclass
@@ -107,9 +126,30 @@ class DetectionTrainer:
         result = TrainResult()
         self.detector.train()
 
+        manager = None
+        if cfg.checkpoint_dir is not None:
+            manager = CheckpointManager(cfg.checkpoint_dir,
+                                        keep=cfg.keep_checkpoints)
+        start_epoch = 0
+        if manager is not None and cfg.resume:
+            restored = manager.load_latest(self.detector, opt, sched,
+                                           rng=rng)
+            if restored is not None:
+                start_epoch = restored.step + 1
+                if restored.extra and "losses" in restored.extra:
+                    result.losses = list(restored.extra["losses"])
+                obs.inc("train/resumed")
+                self.detector.train()  # load_state_dict keeps eval flags
+
+        guard = None
+        if cfg.anomaly_guard:
+            guard = AnomalyGuard(self.detector, opt, scheduler=sched,
+                                 lr_factor=cfg.anomaly_lr_factor,
+                                 lr_min=cfg.anomaly_lr_min)
+
         with obs.span("train/fit", epochs=cfg.epochs,
                       batch_size=cfg.batch_size, images=len(train)) as fit_sp:
-            for epoch in range(cfg.epochs):
+            for epoch in range(start_epoch, cfg.epochs):
                 epoch_loss = 0.0
                 n_batches = 0
                 n_images = 0
@@ -128,19 +168,26 @@ class DetectionTrainer:
                                 ),
                             )
                             images = resize_bilinear(images, hw)
+                        spec = faults.trigger("train.batch")
+                        if spec is not None:
+                            images = faults.apply_array_fault(images, spec)
                         raw = self.detector(Tensor(images))
                         loss = self.loss_fn(raw, boxes)
                         self.detector.zero_grad()
                         loss.backward()
+                        if guard is not None and guard.check(loss.item()):
+                            continue  # rolled back; skip the poisoned step
                         opt.step()
                         if sched is not None:
                             sched.step()
+                        if guard is not None:
+                            guard.commit()
                         epoch_loss += loss.item()
                         n_batches += 1
                         n_images += len(images)
                         obs.inc("train/batches")
                 dt = time.perf_counter() - t_epoch
-                mean_loss = epoch_loss / n_batches
+                mean_loss = epoch_loss / max(n_batches, 1)
                 result.losses.append(mean_loss)
                 obs.observe("train/loss", mean_loss)
                 obs.set_gauge("train/imgs_per_sec",
@@ -157,6 +204,12 @@ class DetectionTrainer:
                     result.val_ious.append((epoch, iou))
                     obs.set_gauge("train/val_iou", iou)
                     self.detector.train()
+                if (
+                    manager is not None
+                    and (epoch + 1) % max(cfg.checkpoint_every, 1) == 0
+                ):
+                    manager.save(epoch, self.detector, opt, sched, rng=rng,
+                                 extra={"losses": list(result.losses)})
 
             if val is not None:
                 with obs.span("train/eval", final=True):

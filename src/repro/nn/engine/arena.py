@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...resilience import faults
+
 __all__ = ["BufferArena"]
 
 
@@ -46,6 +48,13 @@ class BufferArena:
         key = (owner, tag, shape, np.dtype(dtype))
         buf = self._buffers.get(key)
         if buf is None:
+            spec = faults.trigger("arena.alloc")
+            if spec is not None and spec.kind == "alloc":
+                raise MemoryError(
+                    f"injected allocation failure: {tag} {shape} "
+                    f"({int(np.prod(shape)) * np.dtype(dtype).itemsize} "
+                    f"bytes)"
+                )
             buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
             self._buffers[key] = buf
             self.misses += 1

@@ -53,3 +53,34 @@ class Adam:
             if self.weight_decay:
                 p.data -= self.lr * self.weight_decay * p.data
             p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing (see repro.resilience.checkpoint)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Full optimizer state: hyperparameters, step count, moments."""
+        state: dict = {"lr": self.lr, "beta1": self.beta1,
+                       "beta2": self.beta2, "eps": self.eps,
+                       "weight_decay": self.weight_decay, "t": self._t}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m/{i}"] = m.copy()
+            state[f"v/{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (shapes must match)."""
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._t = int(state["t"])
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            for tag, buf in (("m", m), ("v", v)):
+                saved = np.asarray(state[f"{tag}/{i}"])
+                if saved.shape != buf.shape:
+                    raise ValueError(
+                        f"{tag}/{i} shape mismatch: saved {saved.shape}, "
+                        f"optimizer has {buf.shape}"
+                    )
+                buf[...] = saved

@@ -32,6 +32,20 @@ class _Scheduler:
         self.optimizer.lr = lr
         return lr
 
+    def state_dict(self) -> dict:
+        """Schedule position (JSON-safe; the optimizer holds the lr)."""
+        return {"step_count": self.step_count, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule position saved by :meth:`state_dict`.
+
+        The learning rate itself is not recomputed here: the optimizer's
+        checkpoint is authoritative for the current lr (an anomaly guard
+        may have backed it off below the schedule).
+        """
+        self.step_count = int(state["step_count"])
+        self.base_lr = float(state.get("base_lr", self.base_lr))
+
 
 class ExponentialDecay(_Scheduler):
     """Geometric interpolation from the optimizer's lr down to ``final_lr``."""

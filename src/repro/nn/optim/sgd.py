@@ -47,3 +47,28 @@ class SGD:
             v *= self.momentum
             v -= self.lr * g
             p.data += v
+
+    # ------------------------------------------------------------------ #
+    # checkpointing (see repro.resilience.checkpoint)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Full optimizer state: hyperparameters + momentum buffers."""
+        state: dict = {"lr": self.lr, "momentum": self.momentum,
+                       "weight_decay": self.weight_decay}
+        for i, v in enumerate(self._velocity):
+            state[f"velocity/{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (shapes must match)."""
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        for i, v in enumerate(self._velocity):
+            saved = np.asarray(state[f"velocity/{i}"])
+            if saved.shape != v.shape:
+                raise ValueError(
+                    f"velocity/{i} shape mismatch: saved {saved.shape}, "
+                    f"optimizer has {v.shape}"
+                )
+            v[...] = saved

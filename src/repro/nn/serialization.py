@@ -1,26 +1,50 @@
-"""Model checkpointing to ``.npz`` files."""
+"""Model checkpointing to ``.npz`` files.
+
+Two reliability guarantees beyond a bare ``np.savez``:
+
+* **Path normalization** — ``np.savez`` silently appends ``.npz`` when
+  the target lacks it, so ``save_model(m, "ckpt")`` used to write
+  ``ckpt.npz`` while ``load_model(m, "ckpt")`` looked for ``ckpt``.
+  Both entry points now normalize the path identically, so the path a
+  caller passed always round-trips.
+* **Atomic writes** — the state dict is serialized in memory and
+  published via tmp + fsync + rename
+  (:func:`repro.utils.atomic.atomic_write_bytes`), so a crash mid-save
+  can no longer corrupt the existing checkpoint.  For checksummed,
+  resumable full-training-state checkpoints, see
+  :class:`repro.resilience.CheckpointManager`.
+"""
 
 from __future__ import annotations
 
-import os
+import io
 
 import numpy as np
 
+from ..utils.atomic import atomic_write_bytes
 from .module import Module
 
 __all__ = ["save_model", "load_model"]
 
 
+def _normalize(path: str) -> str:
+    """The path ``np.savez`` would actually write: always ``.npz``."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
 def save_model(model: Module, path: str) -> None:
-    """Write a model's full state dict (parameters + buffers) to ``path``."""
+    """Write a model's full state dict (parameters + buffers) to ``path``
+    (``.npz`` appended when missing), atomically."""
     state = model.state_dict()
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+    buf = io.BytesIO()
+    np.savez(buf, **{k: np.asarray(v) for k, v in state.items()})
+    atomic_write_bytes(_normalize(path), buf.getvalue())
 
 
 def load_model(model: Module, path: str) -> Module:
-    """Load a state dict saved with :func:`save_model` into ``model``."""
-    with np.load(path) as data:
+    """Load a state dict saved with :func:`save_model` into ``model``
+    (accepts the same path ``save_model`` was given, with or without
+    the ``.npz`` extension)."""
+    with np.load(_normalize(path)) as data:
         model.load_state_dict({k: data[k] for k in data.files})
     return model

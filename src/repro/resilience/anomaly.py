@@ -1,0 +1,107 @@
+"""Training anomaly guard: catch NaN/inf before it reaches the weights.
+
+A single non-finite loss — mixed-precision overflow, a poisoned batch,
+an exploding gradient — silently destroys a training run: one
+``opt.step()`` with NaN gradients and every parameter is NaN forever
+after.  The guard sits between ``backward()`` and ``step()``:
+
+* after each *successful* step it snapshots model + optimizer state
+  (:meth:`commit`);
+* before each step it checks the loss (and optionally every gradient)
+  for NaN/inf (:meth:`check`);
+* on an anomaly it **rolls back** to the last committed snapshot,
+  halves the learning rate (with a floor), and tells the trainer to
+  skip the step — the run degrades gracefully instead of diverging.
+
+Counted on ``train/anomaly`` / ``train/rollbacks`` so tests can assert
+the guard actually fired.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["AnomalyGuard"]
+
+
+class AnomalyGuard:
+    """NaN/inf watchdog with snapshot rollback and LR backoff.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The live training state to snapshot and restore.
+    scheduler:
+        Optional LR scheduler; its ``base_lr`` is scaled on rollback so
+        a later ``scheduler.step()`` does not undo the backoff.
+    lr_factor:
+        Multiplied into the learning rate on every rollback.
+    lr_min:
+        Floor under the backed-off learning rate.
+    check_grads:
+        Also scan every parameter gradient for non-finite values (the
+        loss can be finite while a gradient already overflowed).
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        scheduler=None,
+        lr_factor: float = 0.5,
+        lr_min: float = 1e-8,
+        check_grads: bool = True,
+    ) -> None:
+        if not 0.0 < lr_factor < 1.0:
+            raise ValueError("lr_factor must be in (0, 1)")
+        if lr_min <= 0:
+            raise ValueError("lr_min must be positive")
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.lr_factor = lr_factor
+        self.lr_min = lr_min
+        self.check_grads = check_grads
+        self.rollbacks = 0
+        self._model_snapshot: dict | None = None
+        self._optim_snapshot: dict | None = None
+        self.commit()
+
+    def commit(self) -> None:
+        """Snapshot the current (known-good) model + optimizer state."""
+        self._model_snapshot = {
+            k: np.array(v, copy=True)
+            for k, v in self.model.state_dict().items()
+        }
+        self._optim_snapshot = self.optimizer.state_dict()
+
+    def check(self, loss_value: float) -> bool:
+        """Return ``True`` (after rolling back) when the pending step is
+        anomalous; ``False`` when it is safe to apply."""
+        anomalous = not np.isfinite(loss_value)
+        if not anomalous and self.check_grads:
+            for p in self.optimizer.params:
+                if p.grad is not None and not np.all(np.isfinite(p.grad)):
+                    anomalous = True
+                    break
+        if not anomalous:
+            return False
+        self.rollback()
+        return True
+
+    def rollback(self) -> None:
+        """Restore the last committed snapshot and halve the LR."""
+        self.model.load_state_dict(self._model_snapshot)
+        self.optimizer.load_state_dict(self._optim_snapshot)
+        new_lr = max(self.optimizer.lr * self.lr_factor, self.lr_min)
+        self.optimizer.lr = new_lr
+        if self.scheduler is not None:
+            self.scheduler.base_lr = max(
+                self.scheduler.base_lr * self.lr_factor, self.lr_min
+            )
+        self.rollbacks += 1
+        obs.inc("train/anomaly")
+        obs.inc("train/rollbacks")
+        obs.set_gauge("train/lr", new_lr)

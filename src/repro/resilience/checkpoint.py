@@ -1,0 +1,237 @@
+"""Durable training checkpoints: atomic writes, checksums, a manifest.
+
+``np.savez`` straight onto the target path is a data-loss bug waiting
+for a power cut: a crash mid-write leaves a torn file where the only
+copy of the weights used to be.  The :class:`CheckpointManager` closes
+every hole in that story:
+
+* each checkpoint is serialized in memory and published with
+  tmp + fsync + rename (:func:`repro.utils.atomic.atomic_write_bytes`),
+  so the filesystem only ever holds complete files;
+* a CRC32 of the exact bytes written is recorded in a JSON **manifest**
+  (itself written atomically), so truncation and bit rot are *detected*
+  on load instead of surfacing as garbage weights;
+* one checkpoint covers the full training state — model parameters and
+  buffers, optimizer slots (momentum / Adam moments), scheduler
+  position, and the NumPy RNG state — so a resumed run continues the
+  exact step sequence of the interrupted one;
+* :meth:`CheckpointManager.load_latest` walks the manifest newest-first
+  and silently falls back to the previous good checkpoint when the
+  newest is corrupt (counted on ``resilience/checkpoint_corrupt``).
+
+Manifest format (``manifest.json``)::
+
+    {"version": 1,
+     "entries": [{"step": 3, "file": "ckpt_00000003.npz",
+                  "crc32": 123456, "nbytes": 4096,
+                  "rng_state": {...} | null,
+                  "scheduler": {"step_count": 12} | null,
+                  "extra": {...} | null}, ...]}
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..utils.atomic import atomic_write_bytes, crc32_bytes
+from . import faults
+
+__all__ = ["CheckpointError", "CheckpointManager", "RestoredState"]
+
+_MANIFEST = "manifest.json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint failed integrity verification or restoration."""
+
+
+@dataclass
+class RestoredState:
+    """What :meth:`CheckpointManager.load_latest` recovered."""
+
+    step: int
+    file: str
+    extra: dict | None = None
+
+
+class CheckpointManager:
+    """Atomic, checksummed, self-pruning checkpoint directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints and the manifest live (created on demand).
+    keep:
+        Retain at most this many checkpoints; older ones are pruned
+        after each save (the manifest shrinks with them).
+    """
+
+    def __init__(self, directory: str, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = os.path.abspath(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, _MANIFEST)
+
+    def entries(self) -> list[dict]:
+        """Manifest entries, oldest first (empty when none exist)."""
+        try:
+            with open(self.manifest_path) as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            return []
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"unreadable manifest {self.manifest_path}: {exc}"
+            ) from exc
+        return list(manifest.get("entries", []))
+
+    def _write_manifest(self, entries: list[dict]) -> None:
+        payload = json.dumps({"version": 1, "entries": entries}, indent=2)
+        atomic_write_bytes(self.manifest_path, payload.encode())
+
+    # ------------------------------------------------------------------ #
+    # save
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        step: int,
+        model,
+        optimizer=None,
+        scheduler=None,
+        rng: np.random.Generator | None = None,
+        extra: dict | None = None,
+    ) -> str:
+        """Write one full-state checkpoint for ``step``; returns its path.
+
+        The arrays go into one ``.npz`` published atomically; RNG and
+        scheduler state (small, JSON-safe) ride in the manifest entry.
+        """
+        arrays = {
+            f"model/{k}": np.asarray(v)
+            for k, v in model.state_dict().items()
+        }
+        if optimizer is not None:
+            for k, v in optimizer.state_dict().items():
+                arrays[f"optim/{k}"] = np.asarray(v)
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        data = buf.getvalue()
+
+        fname = f"ckpt_{step:08d}.npz"
+        path = os.path.join(self.directory, fname)
+        atomic_write_bytes(path, data)
+        spec = faults.trigger("checkpoint.write")
+        if spec is not None and spec.kind in ("truncate", "bitflip"):
+            # Simulated torn write / bit rot *after* publication: the
+            # manifest CRC still describes the intended bytes, so load
+            # detects the damage.
+            faults.corrupt_file(path, spec.kind)
+
+        entry = {
+            "step": int(step),
+            "file": fname,
+            "crc32": crc32_bytes(data),
+            "nbytes": len(data),
+            "rng_state": None if rng is None else rng.bit_generator.state,
+            "scheduler": (None if scheduler is None
+                          else scheduler.state_dict()),
+            "extra": extra,
+        }
+        entries = [e for e in self.entries() if e["step"] != entry["step"]]
+        entries.append(entry)
+        entries.sort(key=lambda e: e["step"])
+        pruned, entries = entries[:-self.keep], entries[-self.keep:]
+        self._write_manifest(entries)
+        for old in pruned:
+            try:
+                os.unlink(os.path.join(self.directory, old["file"]))
+            except OSError:  # pragma: no cover - already gone
+                pass
+        obs.inc("resilience/checkpoint_saved")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # load
+    # ------------------------------------------------------------------ #
+    def verify(self, entry: dict) -> bytes:
+        """Return the checkpoint bytes for ``entry`` iff the CRC matches."""
+        path = os.path.join(self.directory, entry["file"])
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            raise CheckpointError(f"missing checkpoint {path}: {exc}") from exc
+        if crc32_bytes(data) != entry["crc32"]:
+            raise CheckpointError(
+                f"checksum mismatch for {path}: the file is corrupt "
+                f"(torn write or bit rot)"
+            )
+        return data
+
+    def load_latest(
+        self,
+        model,
+        optimizer=None,
+        scheduler=None,
+        rng: np.random.Generator | None = None,
+    ) -> RestoredState | None:
+        """Restore the newest checkpoint that passes verification.
+
+        Corrupt checkpoints are skipped (newest-first) with a
+        ``resilience/checkpoint_corrupt`` count each; returns ``None``
+        when no good checkpoint exists.
+        """
+        for entry in reversed(self.entries()):
+            try:
+                data = self.verify(entry)
+                self._restore(data, entry, model, optimizer, scheduler, rng)
+            except (CheckpointError, ValueError, KeyError) as exc:
+                obs.inc("resilience/checkpoint_corrupt")
+                obs.inc("resilience/checkpoint_skipped")
+                import warnings
+
+                warnings.warn(
+                    f"skipping corrupt checkpoint "
+                    f"{entry.get('file')}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            obs.inc("resilience/checkpoint_restored")
+            return RestoredState(step=int(entry["step"]),
+                                 file=entry["file"],
+                                 extra=entry.get("extra"))
+        return None
+
+    @staticmethod
+    def _restore(data, entry, model, optimizer, scheduler, rng) -> None:
+        with np.load(io.BytesIO(data)) as npz:
+            model_state = {
+                k[len("model/"):]: npz[k]
+                for k in npz.files if k.startswith("model/")
+            }
+            optim_state = {
+                k[len("optim/"):]: npz[k]
+                for k in npz.files if k.startswith("optim/")
+            }
+        model.load_state_dict(model_state)
+        if optimizer is not None and optim_state:
+            optimizer.load_state_dict(optim_state)
+        if scheduler is not None and entry.get("scheduler"):
+            scheduler.load_state_dict(entry["scheduler"])
+        if rng is not None and entry.get("rng_state"):
+            rng.bit_generator.state = entry["rng_state"]

@@ -66,7 +66,8 @@ class SessionConfig:
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Scheduling policy of a :class:`~repro.serve.InferenceServer`.
+    """Scheduling + recovery policy of a
+    :class:`~repro.serve.InferenceServer`.
 
     Parameters
     ----------
@@ -86,6 +87,32 @@ class ServeConfig:
         Worker threads, each with its own engine clone (and therefore
         its own :class:`~repro.nn.engine.BufferArena` — arenas are never
         shared across threads).
+    max_retries:
+        Re-run a failed batch this many times (exponential backoff with
+        jitter between attempts) before bisecting or erroring.  ``0``
+        restores fail-fast behaviour.
+    retry_backoff_ms:
+        Base backoff before the first retry; doubles per attempt.
+    bisect_failed_batches:
+        After retries are exhausted, split a multi-request batch in half
+        and re-run each side, so one poison request no longer errors its
+        batchmates.
+    breaker_threshold:
+        Consecutive primary-runner failures that trip the circuit
+        breaker onto the fallback runner (``0`` disables; only active
+        when the server was given a fallback factory — see
+        :class:`~repro.serve.InferenceServer`).
+    breaker_cooldown_ms:
+        How long a tripped breaker waits before half-opening to probe
+        the primary runner.
+    watchdog:
+        Run the watchdog thread that respawns dead workers and requeues
+        their in-flight batches.
+    watchdog_interval_ms:
+        Watchdog poll interval.
+    reject_nonfinite:
+        Treat NaN/inf in runner outputs as a batch failure (entering
+        the retry/bisect ladder) instead of returning it to callers.
     """
 
     queue_depth: int = 64
@@ -93,6 +120,14 @@ class ServeConfig:
     max_wait_ms: float = 2.0
     deadline_ms: float | None = None
     num_workers: int = 1
+    max_retries: int = 1
+    retry_backoff_ms: float = 5.0
+    bisect_failed_batches: bool = True
+    breaker_threshold: int = 5
+    breaker_cooldown_ms: float = 250.0
+    watchdog: bool = True
+    watchdog_interval_ms: float = 50.0
+    reject_nonfinite: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -105,3 +140,13 @@ class ServeConfig:
             raise ValueError("deadline_ms must be positive (or None)")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 (0 disables)")
+        if self.breaker_cooldown_ms <= 0:
+            raise ValueError("breaker_cooldown_ms must be positive")
+        if self.watchdog_interval_ms <= 0:
+            raise ValueError("watchdog_interval_ms must be positive")

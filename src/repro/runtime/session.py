@@ -95,6 +95,9 @@ class Session:
         self._forward = forward
         self._clone_forward = clone_forward
         self._postprocess = postprocess
+        #: Eager forward kept alongside a compiled plan; the serving
+        #: circuit breaker fails over to it when the engine misbehaves.
+        self._eager_forward = None
         self._server = None
         self._serve_config = ServeConfig()
         self._server_lock = threading.Lock()
@@ -176,6 +179,8 @@ class Session:
                 clone_forward = lambda: target  # noqa: E731 - stateless
             session = cls(model, config, backend, forward, clone_forward,
                           postprocess, name)
+            if backend == "engine":
+                session._eager_forward = target
         if serve is not None:
             session._serve_config = serve
         obs.inc(f"runtime/sessions/{session.backend}")
@@ -283,6 +288,22 @@ class Session:
 
         return runner
 
+    def fallback_runner_for_thread(self):
+        """An eager batch runner functionally equivalent to
+        :meth:`runner_for_thread` (the circuit breaker's failover
+        target), or ``None`` when this session has no separate eager
+        path (eager backend, or a directly-loaded ``CompiledNet``)."""
+        if self._eager_forward is None:
+            return None
+        fn = self._eager_forward
+        post = self._postprocess
+        microbatch = self.config.microbatch
+
+        def runner(x: np.ndarray) -> np.ndarray:
+            return _tiled(fn, post, x, microbatch)
+
+        return runner
+
     @property
     def server(self):
         """The lazily-started :class:`~repro.serve.InferenceServer`
@@ -300,11 +321,24 @@ class Session:
                 if self._server is None:
                     from ..serve import InferenceServer
 
+                    fallback = (self.fallback_runner_for_thread
+                                if self._eager_forward is not None
+                                else None)
                     self._server = InferenceServer(
                         self.runner_for_thread, self._serve_config,
-                        name=self.name,
+                        name=self.name, fallback_factory=fallback,
                     )
         return self._server.submit(image, deadline_ms=deadline_ms)
+
+    def health(self) -> dict:
+        """Server readiness snapshot (see
+        :meth:`repro.serve.InferenceServer.health`); an ``"idle"``
+        status before the first :meth:`submit` starts the server."""
+        if self._server is None:
+            return {"status": "idle", "backend": self.backend}
+        health = self._server.health()
+        health["backend"] = self.backend
+        return health
 
     def close(self) -> None:
         """Stop the serving threads (idempotent); ``run`` keeps working."""

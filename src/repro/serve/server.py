@@ -1,4 +1,4 @@
-"""Threaded dynamic-batching inference server.
+"""Threaded dynamic-batching inference server with fault recovery.
 
 The deployment story of the paper is a saturation problem: the TX2
 keeps its DNN stage busy by overlapping four system stages, the Ultra96
@@ -15,17 +15,35 @@ Overload policy is explicit and non-blocking:
   ``submit`` never blocks the caller;
 * a request whose **deadline** passes while queued resolves with a
   timeout result (504-style) instead of occupying a worker;
-* a worker exception resolves the whole batch with error results and
-  the worker keeps serving;
 * ``stop()`` resolves everything still queued with shutdown results, so
   no future is ever left dangling.
 
-Each worker owns its runner (for compiled plans: a
+Failures get *recovery*, not just error results (the DAC-SDC stream
+must survive, and ``repro.resilience`` injects the faults that prove
+it):
+
+* a failed batch is **retried** with exponential backoff + jitter
+  (``max_retries``), so a transient fault costs a pause, not a 500;
+* a batch that keeps failing is **bisected**: split in half and re-run,
+  so one poison request errors alone instead of failing its batchmates;
+* a :class:`~repro.resilience.CircuitBreaker` counts consecutive
+  primary-runner failures and, once tripped, routes batches to the
+  **fallback runner** (the eager forward behind a compiled plan),
+  half-opening after a cooldown to probe recovery;
+* a **watchdog** respawns dead worker threads and requeues whatever
+  batch the corpse held, so a worker crash loses zero accepted
+  requests;
+* :meth:`InferenceServer.health` reports readiness (worker liveness,
+  queue, breaker state) for the CLI and load balancers.
+
+Each worker owns its runners (for compiled plans: a
 :meth:`~repro.nn.engine.CompiledNet.clone_for_thread` clone), so buffer
 arenas are never shared across threads.  Everything is observable
 through :mod:`repro.obs`: ``serve/queue_depth`` gauge,
 ``serve/batch_size`` histogram, ``serve/shed`` / ``serve/timeout`` /
-``serve/completed`` counters, and a ``serve/batch`` span per forward.
+``serve/completed`` / ``serve/retries`` / ``serve/bisect`` /
+``serve/worker_respawn`` / ``serve/breaker_*`` counters, and a
+``serve/batch`` span per forward.
 """
 
 from __future__ import annotations
@@ -38,6 +56,9 @@ from concurrent.futures import Future, InvalidStateError
 import numpy as np
 
 from .. import obs
+from ..resilience import faults
+from ..resilience.breaker import OPEN, CircuitBreaker
+from ..resilience.retry import RetryPolicy
 from ..runtime.config import ServeConfig
 from .result import (
     STATUS_ERROR,
@@ -63,6 +84,11 @@ class ServerStats:
         self.errors = 0
         self.batches = 0
         self.batched_requests = 0  # completed + errored, for batch sizing
+        self.retries = 0
+        self.bisections = 0
+        self.respawns = 0
+        self.requeued = 0
+        self.fallback_batches = 0
 
     def add(self, field: str, amount: int = 1) -> None:
         with self._lock:
@@ -81,6 +107,11 @@ class ServerStats:
                 "timeouts": self.timeouts,
                 "errors": self.errors,
                 "batches": self.batches,
+                "retries": self.retries,
+                "bisections": self.bisections,
+                "respawns": self.respawns,
+                "requeued": self.requeued,
+                "fallback_batches": self.fallback_batches,
                 "mean_batch_size": (
                     self.batched_requests / self.batches if self.batches
                     else 0.0
@@ -98,8 +129,19 @@ class _Request:
         self.deadline_at = deadline_at
 
 
+class _WorkerRunners:
+    """Per-worker-thread runner pair, created lazily so a respawned
+    worker rebuilds its own engine clone."""
+
+    __slots__ = ("primary", "fallback")
+
+    def __init__(self) -> None:
+        self.primary = None
+        self.fallback = None
+
+
 class InferenceServer:
-    """Bounded queue + dynamic batcher + worker pool over a runner.
+    """Bounded queue + dynamic batcher + self-healing worker pool.
 
     Parameters
     ----------
@@ -110,9 +152,17 @@ class InferenceServer:
         worker owns its runner (see
         :meth:`repro.runtime.Session.runner_for_thread`).
     config:
-        The :class:`~repro.runtime.ServeConfig` scheduling policy.
+        The :class:`~repro.runtime.ServeConfig` scheduling + recovery
+        policy.
     name:
         Label used in spans and the repr.
+    fallback_factory:
+        Optional second runner factory functionally equivalent to the
+        primary (a Session passes the eager forward behind a compiled
+        plan).  Enables the circuit breaker: after
+        ``config.breaker_threshold`` consecutive primary failures,
+        batches run on the fallback until a half-open probe finds the
+        primary healthy again.
     """
 
     def __init__(
@@ -120,24 +170,39 @@ class InferenceServer:
         runner_factory,
         config: ServeConfig | None = None,
         name: str = "model",
+        fallback_factory=None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.name = name
         self.stats = ServerStats()
         self._runner_factory = runner_factory
+        self._fallback_factory = fallback_factory
+        self.breaker: CircuitBreaker | None = None
+        if fallback_factory is not None and self.config.breaker_threshold:
+            self.breaker = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_ms / 1e3,
+                name=name,
+            )
+        self._retry = RetryPolicy(
+            max_retries=self.config.max_retries,
+            backoff_ms=self.config.retry_backoff_ms,
+        )
         self._queue: queue.Queue[_Request] = queue.Queue(
             maxsize=self.config.queue_depth
         )
         self._stopping = threading.Event()
-        self._workers = [
-            threading.Thread(
-                target=self._worker, args=(i,), daemon=True,
-                name=f"serve-{name}-{i}",
+        self._inflight: list[list[_Request] | None] = (
+            [None] * self.config.num_workers
+        )
+        self._workers = [self._spawn(i) for i in range(self.config.num_workers)]
+        self._watchdog_thread = None
+        if self.config.watchdog:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog, daemon=True,
+                name=f"serve-{name}-watchdog",
             )
-            for i in range(self.config.num_workers)
-        ]
-        for t in self._workers:
-            t.start()
+            self._watchdog_thread.start()
 
     # ------------------------------------------------------------------ #
     # client side
@@ -181,18 +246,56 @@ class InferenceServer:
         obs.set_gauge("serve/queue_depth", self._queue.qsize())
         return future
 
+    def health(self) -> dict:
+        """Readiness snapshot: worker liveness, queue, breaker, stats.
+
+        ``status`` is ``"ok"`` when every worker is alive and the
+        breaker (if any) is not open, ``"degraded"`` when some workers
+        are dead or traffic is running on the fallback, ``"down"`` when
+        no worker is alive, and ``"stopped"`` after :meth:`stop`.
+        """
+        alive = sum(1 for t in self._workers if t.is_alive())
+        breaker = None if self.breaker is None else self.breaker.snapshot()
+        if self._stopping.is_set():
+            status = "stopped"
+        elif alive == 0:
+            status = "down"
+        elif alive < len(self._workers) or (
+            breaker is not None and breaker["state"] == OPEN
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        obs.set_gauge("serve/workers_alive", alive)
+        return {
+            "status": status,
+            "workers_alive": alive,
+            "workers_total": len(self._workers),
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_depth,
+            "breaker": breaker,
+            "stats": self.stats.snapshot(),
+        }
+
     def stop(self) -> None:
         """Stop the workers and fail queued requests fast (idempotent).
 
         Requests already inside a worker's batch finish normally; the
-        rest resolve with shutdown results so no caller ever hangs on a
+        rest — queued, or stranded in a crashed worker's in-flight slot
+        — resolve with shutdown results so no caller ever hangs on a
         dangling future.
         """
         if self._stopping.is_set():
             return
         self._stopping.set()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join()
         for t in self._workers:
             t.join()
+        for i, batch in enumerate(self._inflight):
+            self._inflight[i] = None
+            for request in batch or ():
+                _resolve(request.future, ServeResult(STATUS_SHUTDOWN))
         while True:
             try:
                 request = self._queue.get_nowait()
@@ -214,15 +317,59 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # worker side
     # ------------------------------------------------------------------ #
+    def _spawn(self, index: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker, args=(index,), daemon=True,
+            name=f"serve-{self.name}-{index}",
+        )
+        thread.start()
+        return thread
+
     def _worker(self, index: int) -> None:
-        runner = self._runner_factory()
+        runners = _WorkerRunners()
+        rng = np.random.default_rng(1000 + index)  # retry jitter
         while not self._stopping.is_set():
             try:
                 first = self._queue.get(timeout=0.02)
             except queue.Empty:
                 continue
             batch = self._fill_batch(first)
-            self._run_batch(runner, batch, index)
+            self._inflight[index] = batch
+            spec = faults.trigger("serve.worker")
+            if spec is not None and spec.kind == "crash":
+                # The thread dies with its batch still in the in-flight
+                # slot; the watchdog requeues it and respawns us.
+                raise faults.WorkerCrash(
+                    f"injected worker crash (worker {index})"
+                )
+            self._run_batch(runners, batch, index, rng)
+            self._inflight[index] = None
+
+    def _watchdog(self) -> None:
+        """Respawn dead workers and requeue the batches they dropped."""
+        interval = self.config.watchdog_interval_ms / 1e3
+        while not self._stopping.wait(interval):
+            for i, thread in enumerate(self._workers):
+                if thread.is_alive():
+                    continue
+                batch, self._inflight[i] = self._inflight[i], None
+                requeued = 0
+                for request in batch or ():
+                    if request.future.done():
+                        continue
+                    try:
+                        self._queue.put_nowait(request)
+                        requeued += 1
+                    except queue.Full:
+                        self.stats.add("shed")
+                        obs.inc("serve/shed")
+                        _resolve(request.future, ServeResult(STATUS_SHED))
+                if requeued:
+                    self.stats.add("requeued", requeued)
+                    obs.inc("serve/requeued", requeued)
+                self.stats.add("respawns")
+                obs.inc("serve/worker_respawn")
+                self._workers[i] = self._spawn(i)
 
     def _fill_batch(self, first: _Request) -> list[_Request]:
         """Coalesce requests: flush on ``max_batch_size`` or on the
@@ -245,7 +392,8 @@ class InferenceServer:
         return batch
 
     def _run_batch(
-        self, runner, batch: list[_Request], worker: int
+        self, runners: _WorkerRunners, batch: list[_Request], worker: int,
+        rng: np.random.Generator,
     ) -> None:
         now = time.perf_counter()
         live: list[_Request] = []
@@ -265,27 +413,95 @@ class InferenceServer:
         obs.set_gauge("serve/queue_depth", self._queue.qsize())
         if not live:
             return
+        self._execute(runners, live, worker, rng)
 
+    def _get_runner(self, runners: _WorkerRunners, fallback: bool):
+        if fallback:
+            if runners.fallback is None:
+                runners.fallback = self._fallback_factory()
+            return runners.fallback
+        if runners.primary is None:
+            runners.primary = self._runner_factory()
+        return runners.primary
+
+    def _execute(
+        self, runners: _WorkerRunners, live: list[_Request], worker: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Run ``live`` with the full recovery ladder: retry with
+        backoff, trip the breaker to the fallback runner, and bisect a
+        batch whose retries are exhausted so a poison request fails
+        alone."""
         x = (live[0].image if len(live) == 1
              else np.concatenate([r.image for r in live], axis=0))
-        try:
-            with obs.span("serve/batch", server=self.name, worker=worker,
-                          batch=len(live)):
-                out = runner(x)
-        except Exception as exc:  # worker survives a bad batch
-            self.stats.add("errors", len(live))
-            obs.inc("serve/errors", len(live))
-            done = time.perf_counter()
-            for request in live:
-                _resolve(
-                    request.future,
-                    ServeResult(
-                        STATUS_ERROR, error=f"{type(exc).__name__}: {exc}",
-                        latency_ms=(done - request.submitted_at) * 1e3,
-                        batch_size=len(live),
-                    ),
-                )
+        attempt = 0
+        last_error = "unknown error"
+        while True:
+            on_fallback = (self.breaker is not None
+                           and not self.breaker.allow_primary())
+            try:
+                runner = self._get_runner(runners, on_fallback)
+                spec = faults.trigger("serve.runner")
+                if spec is not None and spec.kind == "crash":
+                    raise faults.InjectedFault("injected runner crash")
+                if spec is not None and spec.kind == "stall":
+                    time.sleep(spec.delay_s)
+                with obs.span(
+                    "serve/batch", server=self.name, worker=worker,
+                    batch=len(live),
+                    backend="fallback" if on_fallback else "primary",
+                ):
+                    out = runner(x)
+                if spec is not None and spec.kind in ("nan", "inf"):
+                    out = faults.apply_array_fault(out, spec)
+                if (self.config.reject_nonfinite
+                        and not np.all(np.isfinite(out))):
+                    raise ValueError("runner produced non-finite outputs")
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                if not on_fallback and self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt < self.config.max_retries:
+                    delay = self._retry.delay_ms(attempt, rng)
+                    attempt += 1
+                    self.stats.add("retries")
+                    obs.inc("serve/retries")
+                    if delay:
+                        time.sleep(delay / 1e3)
+                    continue
+                break
+            if not on_fallback and self.breaker is not None:
+                self.breaker.record_success()
+            if on_fallback:
+                self.stats.add("fallback_batches")
+                obs.inc("serve/fallback_batches")
+            self._resolve_ok(live, out)
             return
+
+        # Retries exhausted.  A multi-request batch may be failing
+        # because of one poison request: split and re-run each half so
+        # the healthy batchmates still get answers.
+        if len(live) > 1 and self.config.bisect_failed_batches:
+            self.stats.add("bisections")
+            obs.inc("serve/bisect")
+            mid = len(live) // 2
+            self._execute(runners, live[:mid], worker, rng)
+            self._execute(runners, live[mid:], worker, rng)
+            return
+        self.stats.add("errors", len(live))
+        obs.inc("serve/errors", len(live))
+        done = time.perf_counter()
+        for request in live:
+            _resolve(
+                request.future,
+                ServeResult(
+                    STATUS_ERROR, error=last_error,
+                    latency_ms=(done - request.submitted_at) * 1e3,
+                    batch_size=len(live),
+                ),
+            )
+
+    def _resolve_ok(self, live: list[_Request], out: np.ndarray) -> None:
         done = time.perf_counter()
         self.stats.add("completed", len(live))
         self.stats.add("batches")
@@ -304,8 +520,9 @@ class InferenceServer:
 
 
 def _resolve(future: Future, result: ServeResult) -> None:
-    """Resolve a future exactly once (stop() can race a live worker)."""
+    """Resolve a future exactly once (stop() or the watchdog can race a
+    live worker)."""
     try:
         future.set_result(result)
-    except InvalidStateError:  # pragma: no cover - benign shutdown race
+    except InvalidStateError:  # benign shutdown/watchdog race
         pass

@@ -20,6 +20,9 @@ from ..datasets.got10k import TrackingDataset
 from ..nn import Tensor
 from ..nn import functional as F
 from ..nn.optim import Adam
+from ..resilience import faults
+from ..resilience.anomaly import AnomalyGuard
+from ..resilience.checkpoint import CheckpointManager
 from ..utils.rng import default_rng
 from .siamese import EXEMPLAR_CONTEXT, SEARCH_CONTEXT, crop_and_resize
 from .siamrpn import EXEMPLAR_SIZE, SEARCH_SIZE, SiamRPN
@@ -107,7 +110,15 @@ def sample_pairs(
 
 @dataclass(frozen=True)
 class TrackTrainConfig:
-    """Budget and loss weights for Siamese training."""
+    """Budget and loss weights for Siamese training.
+
+    Resilience knobs mirror the detection trainer's:
+    ``checkpoint_dir`` enables durable checkpoints every
+    ``checkpoint_every`` steps (atomic + checksummed, full state —
+    :class:`repro.resilience.CheckpointManager`), ``resume=True``
+    restarts from the newest good one, and the ``anomaly_guard`` rolls
+    a NaN/inf step back and halves the learning rate.
+    """
 
     steps: int = 60
     batch_size: int = 8
@@ -117,6 +128,13 @@ class TrackTrainConfig:
     loc_weight: float = 1.0
     mask_weight: float = 1.0
     seed: int = 0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 10  # steps between checkpoints
+    keep_checkpoints: int = 3
+    resume: bool = False
+    anomaly_guard: bool = True
+    anomaly_lr_factor: float = 0.5
+    anomaly_lr_min: float = 1e-8
 
 
 class SiameseTrainer:
@@ -204,22 +222,58 @@ class SiameseTrainer:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed) if rng is None else default_rng(rng)
         opt = Adam(self.model.parameters(), lr=cfg.lr)
-        losses = []
+        losses: list[float] = []
         self.model.train()
+
+        manager = None
+        if cfg.checkpoint_dir is not None:
+            manager = CheckpointManager(cfg.checkpoint_dir,
+                                        keep=cfg.keep_checkpoints)
+        start_step = 0
+        if manager is not None and cfg.resume:
+            restored = manager.load_latest(self.model, opt, rng=rng)
+            if restored is not None:
+                start_step = restored.step + 1
+                if restored.extra and "losses" in restored.extra:
+                    losses = list(restored.extra["losses"])
+                obs.inc("track/resumed")
+                self.model.train()
+
+        guard = None
+        if cfg.anomaly_guard:
+            guard = AnomalyGuard(self.model, opt,
+                                 lr_factor=cfg.anomaly_lr_factor,
+                                 lr_min=cfg.anomaly_lr_min)
+
         model_kind = type(self.model).__name__
         with obs.span("track/fit", steps=cfg.steps,
                       batch_size=cfg.batch_size, model=model_kind) as sp:
-            for step in range(cfg.steps):
+            for step in range(start_step, cfg.steps):
                 batch = sample_pairs(
                     dataset, cfg.batch_size, rng, with_masks=self.is_mask
                 )
+                spec = faults.trigger("train.batch")
+                if spec is not None:
+                    batch.searches = faults.apply_array_fault(
+                        batch.searches, spec
+                    )
                 loss = self.loss(batch)
                 self.model.zero_grad()
                 loss.backward()
+                if guard is not None and guard.check(loss.item()):
+                    continue  # rolled back; skip the poisoned step
                 opt.step()
+                if guard is not None:
+                    guard.commit()
                 losses.append(loss.item())
                 obs.observe("track/loss", losses[-1])
                 obs.inc("track/steps")
+                if (
+                    manager is not None
+                    and (step + 1) % max(cfg.checkpoint_every, 1) == 0
+                ):
+                    manager.save(step, self.model, opt, rng=rng,
+                                 extra={"losses": list(losses)})
             if losses:
                 sp.set(final_loss=round(losses[-1], 5))
         self.model.eval()

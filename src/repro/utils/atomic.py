@@ -1,0 +1,64 @@
+"""Crash-safe file writes and checksums.
+
+A checkpoint that dies mid-``write`` must never destroy the previous
+good copy: :func:`atomic_write_bytes` stages the payload in a temporary
+sibling, flushes it to stable storage (``fsync``), and publishes it with
+an atomic ``os.replace``.  Readers therefore see either the old file or
+the new one, never a torn hybrid.  :func:`crc32_file` is the matching
+integrity check — cheap enough to run on every checkpoint load.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zlib
+
+__all__ = ["atomic_write_bytes", "crc32_bytes", "crc32_file"]
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename)."""
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".tmp.")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable where the platform allows it.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def crc32_bytes(data: bytes) -> int:
+    """CRC32 of ``data`` as an unsigned int."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def crc32_file(path: str, chunk_size: int = 1 << 20) -> int:
+    """CRC32 of a file's contents, streamed in chunks."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF

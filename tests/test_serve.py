@@ -156,6 +156,8 @@ class TestBatching:
         assert rec.metrics.counter("serve/shed").value == len(shed)
 
     def test_worker_survives_runner_exception(self):
+        """With retries disabled (fail-fast config), a runner exception
+        surfaces as a 500-style result and the worker keeps serving."""
         calls = []
 
         def factory():
@@ -167,7 +169,8 @@ class TestBatching:
 
             return runner
 
-        config = ServeConfig(max_batch_size=1, max_wait_ms=0.0)
+        config = ServeConfig(max_batch_size=1, max_wait_ms=0.0,
+                             max_retries=0)
         with InferenceServer(factory, config) as server:
             bad = server.submit(np.zeros((1, 4, 4), np.float32))
             result = bad.result(timeout=5.0)
@@ -193,6 +196,50 @@ class TestBatching:
         with InferenceServer(_echo_runner_factory) as server:
             with pytest.raises(ValueError, match="one image"):
                 server.submit(np.zeros((2, 1, 4, 4), np.float32))
+
+    def test_stop_with_batch_in_flight_resolves_every_future(self):
+        """stop() while a worker holds a batch mid-forward: the in-flight
+        batch finishes normally, queued requests resolve shutdown, and no
+        future is left pending."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def factory():
+            def runner(x):
+                entered.set()
+                release.wait(timeout=5.0)
+                return x
+
+            return runner
+
+        config = ServeConfig(max_batch_size=2, max_wait_ms=0.0,
+                             queue_depth=8, num_workers=1)
+        server = InferenceServer(factory, config)
+        futures = [server.submit(np.zeros((1, 4, 4), np.float32))
+                   for _ in range(6)]
+        assert entered.wait(timeout=5.0)  # a batch is inside the runner
+        stopper = threading.Thread(target=server.stop, daemon=True)
+        stopper.start()
+        release.set()
+        stopper.join(timeout=5.0)
+        assert not stopper.is_alive()
+        results = [f.result(timeout=5.0) for f in futures]
+        assert all(f.done() for f in futures)
+        statuses = {r.status for r in results}
+        assert statuses <= {STATUS_OK, STATUS_SHUTDOWN}
+        assert STATUS_OK in statuses  # the in-flight batch completed
+
+    def test_resolve_tolerates_already_resolved_future(self):
+        """The stop()/watchdog race can try to resolve a future twice;
+        the second set_result must be swallowed, not raised."""
+        from concurrent.futures import Future
+
+        from repro.serve.server import _resolve
+
+        future = Future()
+        _resolve(future, ServeResult(STATUS_OK))
+        _resolve(future, ServeResult(STATUS_SHUTDOWN))  # no raise
+        assert future.result(timeout=1.0).status == STATUS_OK
 
 
 # --------------------------------------------------------------------- #
@@ -444,6 +491,8 @@ class TestCli:
         assert infer.serve and serve.serve
         assert infer.batch_size == serve.batch_size == 4
         assert infer.max_wait_ms == serve.max_wait_ms == 1.5
+        assert infer.retries == serve.retries == 1
+        assert serve.breaker_threshold == 5
 
     def test_serve_smoke_via_cli(self, capsys):
         from repro.cli import main
@@ -455,3 +504,4 @@ class TestCli:
         assert rc == 0
         assert "served 8 requests" in out
         assert "shed 0" in out
+        assert "health ok" in out
