@@ -43,6 +43,12 @@ def _add_infer_options(p: argparse.ArgumentParser, serve: bool) -> None:
                    choices=["eager", "compiled"],
                    help="forward backend (Session backend "
                         "'engine'/'eager')")
+    p.add_argument("--quant-bits", default=None, metavar="W,F",
+                   help="run the compiled engine in the integer domain "
+                        "at these weight,feature-map bit widths (e.g. "
+                        "8,8), calibrating scales on the input frames; "
+                        "falls back down the quant -> engine -> eager "
+                        "ladder if the model cannot be quantized")
     p.add_argument("--config", default="C", choices=["A", "B", "C"],
                    help="SkyNet config when no checkpoint is given")
     p.add_argument("--width", type=float, default=0.25,
@@ -379,8 +385,19 @@ def _cmd_infer(args) -> int:
     detector.eval()
     ds = make_dacsdc(args.images, image_hw=(48, 96), seed=args.seed)
 
+    quant_bits = None
+    if args.quant_bits:
+        from .nn.engine import QuantConfig
+
+        parsed = QuantConfig.parse(args.quant_bits)
+        quant_bits = (parsed.w_bits, parsed.fm_bits)
+    if quant_bits is not None:
+        backend = "quant"
+    else:
+        backend = "engine" if args.engine == "compiled" else "eager"
     config = SessionConfig(
-        backend="engine" if args.engine == "compiled" else "eager",
+        backend=backend,
+        quant_bits=quant_bits if quant_bits is not None else (8, 8),
         pipeline=getattr(args, "pipeline", False),
         microbatch=args.microbatch,
     )
@@ -396,9 +413,15 @@ def _cmd_infer(args) -> int:
     mean = np.float32(0.5)
     frames = [ds.images[i] for i in range(len(ds.images))]
 
+    # Calibration batch for the quant backend: the same preprocessing
+    # the session will see at run time.
+    calibration = (np.stack([f - mean for f in frames[:8]])
+                   if quant_bits is not None else None)
+
     with _maybe_recording(args.trace):
         t0 = time.perf_counter()
-        session = Session.load(detector, config, serve=serve_cfg)
+        session = Session.load(detector, config, serve=serve_cfg,
+                               calibration=calibration)
         load_ms = (time.perf_counter() - t0) * 1e3
         print(f"session({session.name}) backend={session.backend} "
               f"loaded in {load_ms:.1f} ms")

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .boxes import cxcywh_to_xyxy, pairwise_iou
+from .boxes import box_area, cxcywh_to_xyxy
 from .head import decode_grid
 
 __all__ = ["Detection", "nms", "decode_detections"]
@@ -64,6 +64,7 @@ def nms(
         return np.empty(0, dtype=int)
 
     xyxy = cxcywh_to_xyxy(boxes)
+    areas = box_area(xyxy)
     order = np.argsort(-scores)
     keep: list[int] = []
     suppressed = np.zeros(len(boxes), dtype=bool)
@@ -71,13 +72,44 @@ def nms(
         if suppressed[idx]:
             continue
         keep.append(int(idx))
+        # Retire the kept box *before* scoring overlaps so it is never
+        # compared against itself.
+        suppressed[idx] = True
         if len(keep) >= max_detections:
             break
-        ious = pairwise_iou(xyxy[idx], xyxy[~suppressed]).ravel()
-        overlap_idx = np.flatnonzero(~suppressed)[ious > iou_threshold]
-        suppressed[overlap_idx] = True
-        suppressed[idx] = True
+        rest = np.flatnonzero(~suppressed)
+        if rest.size == 0:
+            break
+        ious = _suppression_overlap(xyxy[idx], areas[idx],
+                                    xyxy[rest], areas[rest])
+        suppressed[rest[ious > iou_threshold]] = True
     return np.array(keep, dtype=int)
+
+
+def _suppression_overlap(
+    box: np.ndarray, area: float, others: np.ndarray, other_areas: np.ndarray
+) -> np.ndarray:
+    """IoU of one kept xyxy box against candidate xyxy boxes, defined for
+    degenerate (zero-area) pairs.
+
+    A zero-area candidate of a zero-area kept box has ``union == 0``; an
+    unguarded ``inter / union`` is 0/0 = NaN there, and NaN compares
+    false against any ``iou_threshold`` — so exact-duplicate degenerate
+    boxes would never suppress each other.  When the union is empty, the
+    pair counts as full overlap iff the two degenerate boxes touch (their
+    point/line intersection is nonempty).
+    """
+    x1 = np.maximum(box[0], others[:, 0])
+    y1 = np.maximum(box[1], others[:, 1])
+    x2 = np.minimum(box[2], others[:, 2])
+    y2 = np.minimum(box[3], others[:, 3])
+    inter = np.maximum(x2 - x1, 0.0) * np.maximum(y2 - y1, 0.0)
+    union = area + other_areas - inter
+    positive = union > 0.0
+    touching = (x2 >= x1) & (y2 >= y1)
+    return np.where(positive,
+                    inter / np.where(positive, union, 1.0),
+                    np.where(touching, 1.0, 0.0))
 
 
 def decode_detections(

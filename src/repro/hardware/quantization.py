@@ -23,7 +23,9 @@ from ..nn.module import Module
 from ..nn.quant_hooks import set_fm_hook
 
 __all__ = [
+    "fixed_point_fracbits",
     "quantize_fixed",
+    "quantize_to_fracbits",
     "quantization_error",
     "weight_quantization",
     "feature_map_quantization",
@@ -35,27 +37,64 @@ __all__ = [
 ]
 
 
+def fixed_point_fracbits(max_abs: float, bits: int) -> int:
+    """Fractional bits of the ``bits``-wide fixed-point format whose
+    positive range covers ``max_abs``.
+
+    This is the single source of scale logic for every fixed-point path
+    (fake quantization here, and the integer-domain compiled backend in
+    :mod:`repro.nn.engine.quant`): the binary point is per tensor — a
+    pure shift in hardware — and may sit left of the MSB (negative
+    ``frac_bits``) for large-magnitude tensors, or far right for small
+    ones.  ``frexp`` decomposes ``max_abs = m * 2**e`` with ``m`` in
+    [0.5, 1): non-powers of two need ``e`` magnitude bits, while an
+    exact power of two ``2**(e-1)`` needs ``e`` as well *plus* one more
+    so the maximum itself does not saturate against ``qmax = 2**(b-1)-1``
+    (the historical off-by-one: ``ceil(log2(max_abs))`` under-counts
+    exactly at powers of two).
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits (sign + magnitude)")
+    if max_abs <= 0.0:
+        return bits - 1
+    int_bits = math.frexp(max_abs)[1] + 1  # incl. sign
+    return min(bits - int_bits, 300)  # keep 2.0**frac finite
+
+
+def quantize_to_fracbits(x: np.ndarray, frac_bits: int, bits: int) -> np.ndarray:
+    """Fake-quantize ``x`` on a *fixed* grid of ``2**-frac_bits`` steps.
+
+    Round-to-nearest-even (matching integer requantization shifts), then
+    the asymmetric two's-complement clip to ``[-qmax-1, qmax]``.
+    Returns float values on the grid; used by :func:`quantize_fixed`
+    (which derives ``frac_bits`` from the tensor) and by the compiled
+    quantized backend (which freezes ``frac_bits`` at calibration time).
+    """
+    scale = 2.0**frac_bits
+    qmax = 2 ** (bits - 1) - 1
+    q = np.clip(np.round(np.asarray(x, dtype=np.float64) * scale),
+                -qmax - 1, qmax)
+    return q / scale
+
+
 def quantize_fixed(x: np.ndarray, bits: int) -> np.ndarray:
     """Quantize ``x`` to ``bits``-bit signed fixed point (round-to-nearest).
 
     The binary point is placed per tensor: integer bits cover the
     observed dynamic range, the rest are fractional.  Returns the
-    dequantized (float) values, i.e. fake quantization.
+    dequantized (float) values, i.e. fake quantization.  Integer-dtype
+    inputs come back as float64 — casting the dequantized grid values
+    back to an integer dtype would silently truncate them.
     """
     if bits < 2:
         raise ValueError("need at least 2 bits (sign + magnitude)")
     x = np.asarray(x)
+    out_dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
     max_abs = float(np.max(np.abs(x))) if x.size else 0.0
     if max_abs == 0.0:
-        return x.copy()
-    # Binary point placed per tensor (a shift in hardware); int_bits may
-    # be negative for small-magnitude tensors so precision is not wasted.
-    int_bits = math.ceil(math.log2(max_abs + 1e-30)) + 1  # incl. sign
-    frac_bits = min(bits - int_bits, 300)  # keep 2**frac finite
-    scale = 2.0**frac_bits
-    qmax = 2 ** (bits - 1) - 1
-    q = np.clip(np.round(x * scale), -qmax - 1, qmax)
-    return (q / scale).astype(x.dtype)
+        return x.astype(out_dtype)
+    frac_bits = fixed_point_fracbits(max_abs, bits)
+    return quantize_to_fracbits(x, frac_bits, bits).astype(out_dtype)
 
 
 def quantization_error(x: np.ndarray, bits: int) -> float:

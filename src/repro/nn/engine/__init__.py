@@ -11,6 +11,10 @@ This package provides the ahead-of-time alternative:
   chain into one kernel, and emit a flat :class:`CompiledNet` plan.
 * :class:`BufferArena` — shape-keyed buffer pool so im2col columns and
   activation maps are reused across frames (static deployment shapes).
+* :class:`QuantConfig` — integer-domain execution: pass
+  ``compile_net(net, quant=QuantConfig(8, 8), calibration=batch)`` to
+  calibrate power-of-two scales and run int8/int16 kernels (Section
+  6.4.1 / Table 7 of the paper).
 * :class:`ThreadedPipeline` — real threaded stage pipeline mirroring
   the paper's 4-stage TX2 schedule, exportable to the analytic
   :class:`~repro.hardware.pipeline.PipelineSimulator`.
@@ -21,12 +25,14 @@ weights at compile time: retrain, then recompile.
 
 from .arena import BufferArena
 from .compiler import CompiledNet, CompileError, compile_net
+from .quant import QuantConfig
 from .runner import ThreadedPipeline
 
 __all__ = [
     "BufferArena",
     "CompiledNet",
     "CompileError",
+    "QuantConfig",
     "compile_net",
     "ThreadedPipeline",
 ]

@@ -7,15 +7,20 @@ shape from frame to frame.  The arena exploits that: each kernel asks
 for its scratch/output buffers by a stable key and gets the *same*
 ndarray back on every call, so steady-state inference allocates nothing.
 
-Keys include the requested shape, so an engine serving two input
-geometries (e.g. a Siamese tracker's exemplar and search crops) keeps
-one buffer per geometry instead of thrashing a single slot.
+Keys include the requested shape *and dtype*, so an engine serving two
+input geometries (e.g. a Siamese tracker's exemplar and search crops)
+keeps one buffer per geometry instead of thrashing a single slot, and
+the quantized backend's int8/int16/float buffers never alias the fp32
+ones.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
+from ... import obs
 from ...resilience import faults
 
 __all__ = ["BufferArena"]
@@ -29,12 +34,23 @@ class BufferArena:
     callers must fully overwrite what they read — except for buffers
     requested with ``zero=True``, which are zero-filled once at
     allocation (used for padded inputs whose border must stay zero).
+
+    ``max_buffers`` bounds the pool for long-lived servers that see many
+    input geometries: when set, the least-recently-used buffer is
+    evicted once the pool exceeds the cap (``None``, the default, keeps
+    the historical unbounded behaviour).  A steady-state workload that
+    fits in the cap is unaffected — every request refreshes its buffer's
+    recency, so only cold geometries age out.
     """
 
-    def __init__(self) -> None:
-        self._buffers: dict[tuple, np.ndarray] = {}
+    def __init__(self, max_buffers: int | None = None) -> None:
+        if max_buffers is not None and max_buffers < 1:
+            raise ValueError("max_buffers must be >= 1 (or None, unbounded)")
+        self.max_buffers = max_buffers
+        self._buffers: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(
         self,
@@ -58,8 +74,15 @@ class BufferArena:
             buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
             self._buffers[key] = buf
             self.misses += 1
+            if self.max_buffers is not None:
+                while len(self._buffers) > self.max_buffers:
+                    self._buffers.popitem(last=False)
+                    self.evictions += 1
+            if obs.enabled():
+                obs.set_gauge("engine/arena/pooled_bytes", self.nbytes())
         else:
             self.hits += 1
+            self._buffers.move_to_end(key)
         return buf
 
     def nbytes(self) -> int:
@@ -74,3 +97,6 @@ class BufferArena:
         self._buffers.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if obs.enabled():
+            obs.set_gauge("engine/arena/pooled_bytes", 0)

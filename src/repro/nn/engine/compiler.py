@@ -20,6 +20,7 @@ retrain the module, recompile the engine.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -306,52 +307,59 @@ def _fuse_bundles(nodes: list[_Node], out_reg: int) -> tuple[list[_Node], int]:
     return kept, out_reg
 
 
+def _lower_node(node: _Node, key) -> K.Kernel:
+    """Build the fp32 kernel for one optimized-plan node.
+
+    Shared by the fp32 lowering below and by the quantized lowering
+    (:mod:`repro.nn.engine.quant`), which routes ops without an
+    integer-domain rule through the stock kernels.
+    """
+    a = node.attrs
+    if node.kind == "conv":
+        return K.ConvKernel(key, a["weight"], a["bias"], a["stride"],
+                            a["pad"], a["act"])
+    if node.kind == "dw":
+        return K.DWConvKernel(key, a["weight"], a["bias"], a["stride"],
+                              a["pad"], a["act"])
+    if node.kind == "bundle":
+        dw, pw = a["dw"], a["pw"]
+        return K.FusedBundleKernel(
+            key,
+            K.DWConvKernel((key, "dw"), dw["weight"], dw["bias"],
+                           dw["stride"], dw["pad"], dw["act"]),
+            K.ConvKernel((key, "pw"), pw["weight"], pw["bias"],
+                         pw["stride"], pw["pad"], pw["act"]),
+        )
+    if node.kind == "affine":
+        return K.AffineKernel(key, a["scale"], a["shift"], a["act"])
+    if node.kind == "act":
+        return K.ActKernel(key, a["act"])
+    if node.kind == "maxpool":
+        return K.MaxPoolKernel(key, a["kernel"], a["stride"])
+    if node.kind == "avgpool":
+        return K.AvgPoolKernel(key, a["kernel"], a["stride"])
+    if node.kind == "gap":
+        return K.GlobalAvgPoolKernel(key)
+    if node.kind == "reorg":
+        return K.ReorgKernel(key, a["stride"])
+    if node.kind == "upsample":
+        return K.UpsampleKernel(key, a["scale"])
+    if node.kind == "concat":
+        return K.ConcatKernel(key)
+    if node.kind == "slice":
+        return K.SliceChannelsKernel(key, a["start"], a["stop"])
+    if node.kind == "linear":
+        return K.LinearKernel(key, a["weight"], a["bias"], a["act"])
+    if node.kind == "flatten":
+        return K.FlattenKernel(key)
+    # pragma: no cover - planner emits only the kinds above
+    raise CompileError(f"cannot lower op kind {node.kind!r}")
+
+
 def _lower(nodes: list[_Node]) -> list[tuple[K.Kernel, tuple[int, ...], int]]:
     """Turn the optimized plan into executable kernel steps."""
-    steps = []
-    for i, node in enumerate(nodes):
-        a = node.attrs
-        if node.kind == "conv":
-            kern = K.ConvKernel(i, a["weight"], a["bias"], a["stride"],
-                                a["pad"], a["act"])
-        elif node.kind == "dw":
-            kern = K.DWConvKernel(i, a["weight"], a["bias"], a["stride"],
-                                  a["pad"], a["act"])
-        elif node.kind == "bundle":
-            dw, pw = a["dw"], a["pw"]
-            kern = K.FusedBundleKernel(
-                i,
-                K.DWConvKernel((i, "dw"), dw["weight"], dw["bias"],
-                               dw["stride"], dw["pad"], dw["act"]),
-                K.ConvKernel((i, "pw"), pw["weight"], pw["bias"],
-                             pw["stride"], pw["pad"], pw["act"]),
-            )
-        elif node.kind == "affine":
-            kern = K.AffineKernel(i, a["scale"], a["shift"], a["act"])
-        elif node.kind == "act":
-            kern = K.ActKernel(i, a["act"])
-        elif node.kind == "maxpool":
-            kern = K.MaxPoolKernel(i, a["kernel"], a["stride"])
-        elif node.kind == "avgpool":
-            kern = K.AvgPoolKernel(i, a["kernel"], a["stride"])
-        elif node.kind == "gap":
-            kern = K.GlobalAvgPoolKernel(i)
-        elif node.kind == "reorg":
-            kern = K.ReorgKernel(i, a["stride"])
-        elif node.kind == "upsample":
-            kern = K.UpsampleKernel(i, a["scale"])
-        elif node.kind == "concat":
-            kern = K.ConcatKernel(i)
-        elif node.kind == "slice":
-            kern = K.SliceChannelsKernel(i, a["start"], a["stop"])
-        elif node.kind == "linear":
-            kern = K.LinearKernel(i, a["weight"], a["bias"], a["act"])
-        elif node.kind == "flatten":
-            kern = K.FlattenKernel(i)
-        else:  # pragma: no cover - planner emits only the kinds above
-            raise CompileError(f"cannot lower op kind {node.kind!r}")
-        steps.append((kern, tuple(node.inputs), node.out))
-    return steps
+    return [(_lower_node(node, i), tuple(node.inputs), node.out)
+            for i, node in enumerate(nodes)]
 
 
 # --------------------------------------------------------------------- #
@@ -373,12 +381,16 @@ class CompiledNet:
         out_reg: int,
         name: str = "net",
         arena: BufferArena | None = None,
+        quant=None,
+        quant_stats: dict | None = None,
     ) -> None:
         self.steps = steps
         self.n_regs = n_regs
         self.out_reg = out_reg
         self.name = name
         self.arena = arena if arena is not None else BufferArena()
+        self.quant = quant  # QuantConfig when integer-domain, else None
+        self.quant_stats = quant_stats
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
@@ -413,7 +425,8 @@ class CompiledNet:
         """
         return CompiledNet(
             self.steps, self.n_regs, self.out_reg, self.name,
-            arena=BufferArena(),
+            arena=BufferArena(), quant=self.quant,
+            quant_stats=self.quant_stats,
         )
 
     def __len__(self) -> int:
@@ -425,10 +438,11 @@ class CompiledNet:
 
         rows = [[i, kern.label, str(ins), out]
                 for i, (kern, ins, out) in enumerate(self.steps)]
+        quant = "" if self.quant is None else f" [quant {self.quant.label}]"
         return format_table(
             ["step", "kernel", "reads", "writes"], rows,
-            title=f"CompiledNet({self.name}): {len(self.steps)} kernels, "
-                  f"arena {self.arena.nbytes() / 1e6:.2f} MB",
+            title=f"CompiledNet({self.name}){quant}: {len(self.steps)} "
+                  f"kernels, arena {self.arena.nbytes() / 1e6:.2f} MB",
         )
 
 
@@ -436,22 +450,56 @@ def compile_net(
     module: Module,
     name: str | None = None,
     arena: BufferArena | None = None,
+    quant=None,
+    calibration: np.ndarray | None = None,
 ) -> CompiledNet:
     """Compile a trained module's eval-mode forward into a
     :class:`CompiledNet`.
 
-    Raises :class:`CompileError` for module types without a rule.
+    Pass ``quant`` (a :class:`~repro.nn.engine.quant.QuantConfig`) plus
+    ``calibration`` samples (an ``(N, C, H, W)`` batch representative of
+    inference inputs) to lower the plan into the integer domain: weights
+    are stored as int8/int16, feature maps flow between kernels as
+    int8/int16, and per-tensor power-of-two scales are frozen from the
+    calibration batch.
+
+    Raises :class:`CompileError` for module types without a rule, and
+    when ``quant`` is given without ``calibration``.
     """
     if name is None:
         name = type(module).__name__
-    with obs.span("engine/compile", model=name):
+    with obs.span("engine/compile", model=name,
+                  quant=None if quant is None else quant.label):
         planner = _Planner()
         out_reg = planner.emit(module, 0)
         nodes = planner.nodes
         nodes, out_reg = _fold_batchnorm(nodes, out_reg)
         nodes, out_reg = _fuse_activations(nodes, out_reg)
         nodes, out_reg = _fuse_bundles(nodes, out_reg)
-        steps = _lower(nodes)
-        net = CompiledNet(steps, planner.n_regs, out_reg, name, arena)
+        if quant is not None:
+            from .quant import lower_quantized
+
+            if calibration is None:
+                raise CompileError(
+                    "quantized compilation needs calibration samples: "
+                    "compile_net(net, quant=..., calibration=batch)"
+                )
+            t0 = time.perf_counter()
+            steps, n_regs, out_reg, stats = lower_quantized(
+                nodes, planner.n_regs, out_reg, quant, calibration, name
+            )
+            net = CompiledNet(steps, n_regs, out_reg, name, arena,
+                              quant=quant, quant_stats=stats)
+            obs.set_gauge(f"engine/{name}/quant/compile_ms",
+                          (time.perf_counter() - t0) * 1e3)
+            for dtype in ("int8", "int16", "float32", "float64"):
+                count = sum(1 for k in stats["kernels"]
+                            if k["storage"] == dtype or k["carrier"] == dtype)
+                if count:
+                    obs.set_gauge(f"engine/{name}/quant/kernels_{dtype}",
+                                  count)
+        else:
+            steps = _lower(nodes)
+            net = CompiledNet(steps, planner.n_regs, out_reg, name, arena)
         obs.set_gauge(f"engine/{name}/kernels", len(steps))
     return net

@@ -68,9 +68,20 @@ def apply_activation(out: np.ndarray, act: tuple | None) -> np.ndarray:
 
 
 def _im2col_into(
-    arena, owner, x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    arena,
+    owner,
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    cols_dtype=None,
 ) -> tuple[np.ndarray, int, int]:
-    """Arena-backed im2col: returns (cols (N, C*kh*kw, OH*OW), OH, OW)."""
+    """Arena-backed im2col: returns (cols (N, C*kh*kw, OH*OW), OH, OW).
+
+    ``cols_dtype`` lets the column matrix land in a different dtype than
+    the input (the quantized backend gathers int8 windows straight into
+    float32 columns — the cast rides the copy, no extra pass)."""
     n, c, h, w = x.shape
     oh = conv_out_size(h, kh, stride, pad)
     ow = conv_out_size(w, kw, stride, pad)
@@ -82,7 +93,8 @@ def _im2col_into(
         x = xp
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride]
-    cols = arena.get(owner, "cols", (n, c * kh * kw, oh * ow), x.dtype)
+    cols = arena.get(owner, "cols", (n, c * kh * kw, oh * ow),
+                     cols_dtype or x.dtype)
     np.copyto(
         cols.reshape(n, c, kh, kw, oh, ow), windows.transpose(0, 1, 4, 5, 2, 3)
     )
@@ -260,7 +272,9 @@ class MaxPoolKernel(Kernel):
         k, s = self.kernel, self.stride
         oh = conv_out_size(h, k, s, 0)
         ow = conv_out_size(w, k, s, 0)
-        out = arena.get(self.key, "out", (n, c, oh, ow), np.float32)
+        # Output dtype follows the input: max of a quantized-backend int
+        # feature map is the same int grid.
+        out = arena.get(self.key, "out", (n, c, oh, ow), x.dtype)
         # Accumulate tap-by-tap over strided slices rather than reducing a
         # sliding-window view: a (..., k, k) axis reduction over the strided
         # view is an order of magnitude slower than k*k vectorized maximums.
@@ -325,7 +339,8 @@ class ReorgKernel(Kernel):
         s = self.stride
         if h % s or w % s:
             raise ValueError(f"reorg: spatial dims ({h},{w}) not divisible by {s}")
-        out = arena.get(self.key, "out", (n, c * s * s, h // s, w // s), np.float32)
+        out = arena.get(self.key, "out", (n, c * s * s, h // s, w // s),
+                        x.dtype)
         np.copyto(
             out.reshape(n, s, s, c, h // s, w // s),
             x.reshape(n, c, h // s, s, w // s, s).transpose(0, 3, 5, 1, 2, 4),
@@ -343,7 +358,7 @@ class UpsampleKernel(Kernel):
         (x,) = inputs
         n, c, h, w = x.shape
         s = self.scale
-        out = arena.get(self.key, "out", (n, c, h * s, w * s), np.float32)
+        out = arena.get(self.key, "out", (n, c, h * s, w * s), x.dtype)
         np.copyto(
             out.reshape(n, c, h, s, w, s), x[:, :, :, None, :, None]
         )
@@ -358,7 +373,7 @@ class ConcatKernel(Kernel):
     def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
         n, _, h, w = inputs[0].shape
         c = sum(a.shape[1] for a in inputs)
-        out = arena.get(self.key, "out", (n, c, h, w), np.float32)
+        out = arena.get(self.key, "out", (n, c, h, w), inputs[0].dtype)
         np.concatenate(inputs, axis=1, out=out)
         return out
 

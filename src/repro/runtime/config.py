@@ -17,9 +17,9 @@ from dataclasses import dataclass
 __all__ = ["BACKENDS", "ServeConfig", "SessionConfig"]
 
 #: Valid ``SessionConfig.backend`` values: the compiled inference engine
-#: (:mod:`repro.nn.engine`) or the eager autograd forward under
-#: ``no_grad``.
-BACKENDS = ("engine", "eager")
+#: (:mod:`repro.nn.engine`), its integer-domain quantized mode, or the
+#: eager autograd forward under ``no_grad``.
+BACKENDS = ("engine", "quant", "eager")
 
 
 @dataclass(frozen=True)
@@ -30,8 +30,15 @@ class SessionConfig:
     ----------
     backend:
         ``"engine"`` compiles the model into a
-        :class:`~repro.nn.engine.CompiledNet`; ``"eager"`` runs the
-        autograd forward under ``no_grad``.
+        :class:`~repro.nn.engine.CompiledNet`; ``"quant"`` additionally
+        lowers the plan into the integer domain at the
+        :attr:`quant_bits` scheme (requires calibration samples at
+        :meth:`Session.load <repro.runtime.Session.load>` time);
+        ``"eager"`` runs the autograd forward under ``no_grad``.
+    quant_bits:
+        ``(weight_bits, feature_map_bits)`` for the ``"quant"`` backend
+        (ignored otherwise) — the Table-7 scheme handed to
+        :class:`~repro.nn.engine.QuantConfig`.
     pipeline:
         Route :meth:`Session.stream` through the 4-stage
         :class:`~repro.nn.engine.ThreadedPipeline` (fetch, pre-process,
@@ -44,12 +51,14 @@ class SessionConfig:
         penalty.  Outputs are bit-identical to the untiled forward per
         sample for the compiled engine.
     fallback:
-        When the engine backend cannot compile the model
-        (:class:`~repro.nn.engine.CompileError`), degrade to the eager
-        path with a warning instead of raising.
+        When the requested backend cannot compile the model
+        (:class:`~repro.nn.engine.CompileError`), degrade down the
+        ladder ``quant -> engine -> eager`` with a warning at each step
+        instead of raising.
     """
 
     backend: str = "engine"
+    quant_bits: tuple[int, int] = (8, 8)
     pipeline: bool = False
     microbatch: int = 0
     fallback: bool = True
@@ -60,6 +69,15 @@ class SessionConfig:
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{BACKENDS}"
             )
+        bits = tuple(self.quant_bits)
+        if len(bits) != 2 or not all(
+            isinstance(b, int) and 2 <= b <= 16 for b in bits
+        ):
+            raise ValueError(
+                "quant_bits must be a (weight_bits, fm_bits) pair of ints "
+                f"in [2, 16], got {self.quant_bits!r}"
+            )
+        object.__setattr__(self, "quant_bits", bits)
         if self.microbatch < 0:
             raise ValueError("microbatch must be >= 0 (0 disables tiling)")
 

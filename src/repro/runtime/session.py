@@ -111,6 +111,7 @@ class Session:
         model,
         config: SessionConfig | None = None,
         serve: ServeConfig | None = None,
+        calibration=None,
     ) -> "Session":
         """Resolve ``model`` into a runnable session.
 
@@ -127,8 +128,13 @@ class Session:
         serve:
             Scheduling config for :meth:`submit`; defaults to
             ``ServeConfig()``.
+        calibration:
+            Sample inputs ``(N, C, H, W)`` for the ``"quant"`` backend's
+            scale calibration (see
+            :func:`repro.nn.engine.compile_net`); required by that
+            backend and ignored by the others.
         """
-        from ..nn.engine import CompiledNet, CompileError
+        from ..nn.engine import CompiledNet, CompileError, QuantConfig
         from ..nn.module import Module
 
         config = config if config is not None else SessionConfig()
@@ -137,7 +143,8 @@ class Session:
 
         if isinstance(model, CompiledNet):
             session = cls(
-                model, config, "engine",
+                model, config,
+                "quant" if model.quant is not None else "engine",
                 forward=model,
                 clone_forward=lambda: model.clone_for_thread(),
                 postprocess=None,
@@ -153,10 +160,29 @@ class Session:
                 model.eval()
             target, postprocess, compile_target = cls._resolve(model)
             backend = config.backend
-            if backend == "engine" and eager_forced():
+            if backend in ("engine", "quant") and eager_forced():
                 obs.inc("runtime/eager_pinned")
                 backend = "eager"
             net = None
+            if backend == "quant":
+                # Top rung of the fallback ladder: quant -> engine ->
+                # eager, one warning per step down.
+                try:
+                    net = compile_target(
+                        quant=QuantConfig(*config.quant_bits),
+                        calibration=calibration,
+                    )
+                except CompileError as exc:
+                    if not config.fallback:
+                        raise
+                    warnings.warn(
+                        f"Session: cannot quantize {name} "
+                        f"({exc}); falling back to the fp32 engine",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    obs.inc("runtime/quant_fallback")
+                    backend = "engine"
             if backend == "engine":
                 try:
                     net = compile_target()
@@ -171,7 +197,7 @@ class Session:
                     )
                     obs.inc("runtime/eager_fallback")
                     backend = "eager"
-            if backend == "engine":
+            if backend in ("engine", "quant"):
                 forward = net
                 clone_forward = net.clone_for_thread
             else:
@@ -179,7 +205,7 @@ class Session:
                 clone_forward = lambda: target  # noqa: E731 - stateless
             session = cls(model, config, backend, forward, clone_forward,
                           postprocess, name)
-            if backend == "engine":
+            if backend in ("engine", "quant"):
                 session._eager_forward = target
         if serve is not None:
             session._serve_config = serve
@@ -189,7 +215,8 @@ class Session:
     @staticmethod
     def _resolve(model):
         """Pick the forward target for ``model``: (eager_fn,
-        postprocess, compile_fn)."""
+        postprocess, compile_fn).  The compile fn accepts the optional
+        ``quant``/``calibration`` pair of the quantized backend."""
         from ..detection.head import best_box
         from ..detection.model import Detector
         from ..nn import Tensor, no_grad
@@ -203,9 +230,10 @@ class Session:
             def postprocess(raw: np.ndarray) -> np.ndarray:
                 return best_box(raw, model.head.anchors)
 
-            def compile_target():
+            def compile_target(quant=None, calibration=None):
                 return compile_net(
-                    model, name=type(model.backbone).__name__
+                    model, name=type(model.backbone).__name__,
+                    quant=quant, calibration=calibration,
                 )
 
             return eager, postprocess, compile_target
@@ -217,13 +245,19 @@ class Session:
                 with no_grad():
                     return model.extract(Tensor(x)).data
 
-            return eager, None, lambda: compile_extractor(model)
+            return eager, None, (
+                lambda quant=None, calibration=None:
+                compile_extractor(model, quant=quant, calibration=calibration)
+            )
 
         def eager(x: np.ndarray) -> np.ndarray:
             with no_grad():
                 return model(Tensor(x)).data
 
-        return eager, None, lambda: compile_net(model)
+        return eager, None, (
+            lambda quant=None, calibration=None:
+            compile_net(model, quant=quant, calibration=calibration)
+        )
 
     # ------------------------------------------------------------------ #
     # synchronous path

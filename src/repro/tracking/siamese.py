@@ -103,7 +103,7 @@ def xcorr_depthwise(x: Tensor, z: Tensor) -> Tensor:
     return out.reshape(n, c, hx - hz + 1, wx - wz + 1)
 
 
-def compile_extractor(model: Module, arena=None):
+def compile_extractor(model: Module, arena=None, quant=None, calibration=None):
     """Compile a Siamese model's feature extractor (backbone + adjust).
 
     Returns a :class:`repro.nn.engine.CompiledNet` equivalent to
@@ -111,6 +111,11 @@ def compile_extractor(model: Module, arena=None):
     different static shapes, so the shape-keyed arena keeps separate
     buffers for each and both paths stay allocation-free after the
     first frame.
+
+    ``quant``/``calibration`` select the integer-domain backend (see
+    :func:`repro.nn.engine.compile_net`); calibrate on search-sized
+    crops — the scales are per-tensor constants, so exemplar-sized
+    inputs reuse them.
     """
     from ..nn.engine import compile_net
     from ..nn.module import Sequential
@@ -121,6 +126,8 @@ def compile_extractor(model: Module, arena=None):
         Sequential(model.backbone, model.adjust),
         name=f"{type(model).__name__}.extract",
         arena=arena,
+        quant=quant,
+        calibration=calibration,
     )
     if was_training:
         model.train()

@@ -155,6 +155,49 @@ class TestArena:
         arena.clear()
         assert len(arena) == 0
 
+    def test_max_buffers_evicts_least_recently_used(self):
+        """Regression: the cap must evict by recency, not insertion —
+        a hot buffer that was allocated first must survive."""
+        arena = BufferArena(max_buffers=2)
+        a = arena.get("k", "out", (2,), np.float32)
+        arena.get("k", "out", (3,), np.float32)
+        assert arena.get("k", "out", (2,), np.float32) is a  # refresh a
+        arena.get("k", "out", (4,), np.float32)  # evicts the (3,) buffer
+        assert len(arena) == 2
+        assert arena.evictions == 1
+        assert arena.get("k", "out", (2,), np.float32) is a  # still pooled
+        hits = arena.hits
+        arena.get("k", "out", (3,), np.float32)  # cold again -> miss
+        assert arena.hits == hits
+        assert arena.evictions == 2
+
+    def test_max_buffers_none_is_unbounded(self):
+        arena = BufferArena()
+        for i in range(64):
+            arena.get("k", "out", (i + 1,), np.float32)
+        assert len(arena) == 64
+        assert arena.evictions == 0
+
+    def test_max_buffers_validated(self):
+        with pytest.raises(ValueError):
+            BufferArena(max_buffers=0)
+
+    def test_pooled_bytes_gauge(self):
+        from repro import obs
+
+        rec = obs.enable()
+        try:
+            arena = BufferArena(max_buffers=1)
+            arena.get("k", "out", (8,), np.float32)
+            gauge = rec.metrics.gauge("engine/arena/pooled_bytes")
+            assert gauge.value == 32
+            arena.get("k", "out", (16,), np.float32)  # evicts the first
+            assert gauge.value == 64
+            arena.clear()
+            assert gauge.value == 0
+        finally:
+            obs.disable()
+
     def test_clone_for_thread_shares_plan_not_arena(self, rng):
         bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
         bb.eval()

@@ -71,6 +71,49 @@ class TestNms:
     def test_empty_input(self):
         assert len(nms(np.zeros((0, 4)), np.zeros(0))) == 0
 
+    def test_degenerate_duplicates_suppressed(self):
+        """Exact-duplicate zero-area boxes must suppress each other.
+
+        Regression: their union is 0, and an unguarded inter/union IoU is
+        0/0 = NaN, which compares false against any threshold — so every
+        duplicate survived NMS.
+        """
+        boxes = np.array([[0.5, 0.5, 0.0, 0.0],
+                          [0.5, 0.5, 0.0, 0.0],
+                          [0.5, 0.5, 0.0, 0.0]])
+        scores = np.array([0.9, 0.8, 0.7])
+        kept = nms(boxes, scores, iou_threshold=0.5)
+        assert kept.tolist() == [0]
+
+    def test_degenerate_distinct_boxes_kept(self):
+        """Zero-area boxes at different points do not overlap."""
+        boxes = np.array([[0.2, 0.2, 0.0, 0.0], [0.8, 0.8, 0.0, 0.0]])
+        kept = nms(boxes, np.array([0.9, 0.8]), iou_threshold=0.5)
+        assert set(kept.tolist()) == {0, 1}
+
+    def test_degenerate_line_overlap(self):
+        """A zero-width box on the edge of a duplicate line suppresses
+        it (nonempty point/line intersection counts as full overlap)."""
+        boxes = np.array([[0.5, 0.5, 0.0, 0.2],   # vertical line
+                          [0.5, 0.5, 0.0, 0.2]])  # same line
+        kept = nms(boxes, np.array([0.9, 0.8]), iou_threshold=0.5)
+        assert kept.tolist() == [0]
+
+    def test_lone_degenerate_box_not_self_suppressed(self):
+        """A kept box is retired before overlap scoring, so the
+        degenerate full-overlap rule never compares it to itself."""
+        boxes = np.array([[0.5, 0.5, 0.0, 0.0]])
+        kept = nms(boxes, np.array([0.9]), iou_threshold=0.5)
+        assert kept.tolist() == [0]
+
+    def test_mixed_degenerate_and_regular(self):
+        """Degenerate boxes inside a kept regular box: zero inter but
+        positive union -> IoU 0 -> kept, matching the regular rule."""
+        boxes = np.array([[0.5, 0.5, 0.4, 0.4],
+                          [0.5, 0.5, 0.0, 0.0]])
+        kept = nms(boxes, np.array([0.9, 0.8]), iou_threshold=0.5)
+        assert set(kept.tolist()) == {0, 1}
+
     def test_validates(self):
         with pytest.raises(ValueError):
             nms(np.zeros((2, 4)), np.zeros(3))

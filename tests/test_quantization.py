@@ -12,10 +12,12 @@ from repro.detection import Detector
 from repro.hardware.quantization import (
     TABLE7_SCHEMES,
     feature_map_quantization,
+    fixed_point_fracbits,
     fm_megabytes,
     param_megabytes,
     quantization_error,
     quantize_fixed,
+    quantize_to_fracbits,
     quantized_inference,
     weight_quantization,
 )
@@ -71,6 +73,83 @@ class TestQuantizeFixed:
         # rounding contributes lsb/2; two's-complement clipping at the
         # positive extreme can add up to one more LSB
         assert np.abs(q - x).max() <= 1.5 * lsb + 1e-12
+
+
+class TestFracBits:
+    """Scale-selection rules shared by fake quant and the compiled
+    integer backend."""
+
+    def test_power_of_two_max_not_saturated(self):
+        """Regression: ``ceil(log2(max_abs))`` under-counts integer bits
+        exactly at powers of two, clipping the maximum against qmax."""
+        for max_abs in (0.5, 1.0, 2.0, 4.0, 64.0):
+            x = np.array([max_abs, -max_abs / 2])
+            q = quantize_fixed(x, 8)
+            np.testing.assert_array_equal(q, x)
+
+    def test_fracbits_powers_of_two(self):
+        # 1.0 needs 2 integer bits (sign + the value itself must not
+        # saturate against qmax = 2**(b-1) - 1), leaving b-2 fractional.
+        assert fixed_point_fracbits(1.0, 8) == 6
+        assert fixed_point_fracbits(2.0, 8) == 5
+        assert fixed_point_fracbits(0.5, 8) == 7
+
+    def test_fracbits_non_powers(self):
+        assert fixed_point_fracbits(0.9, 8) == 7  # 0.9*128 = 115 < 127
+        assert fixed_point_fracbits(3.0, 8) == 5  # 3*32 = 96 < 127
+        assert fixed_point_fracbits(100.0, 8) == 0
+
+    def test_fracbits_scale_is_maximal(self):
+        """The chosen scale keeps max_abs strictly inside the signed
+        range, and one more fractional bit would push it out."""
+        rng = np.random.default_rng(3)
+        for max_abs in rng.uniform(1e-3, 1e3, size=50):
+            for bits in (4, 8, 11):
+                frac = fixed_point_fracbits(float(max_abs), bits)
+                half_range = 2.0 ** (bits - 1)
+                assert max_abs * 2.0**frac < half_range
+                assert max_abs * 2.0 ** (frac + 1) >= half_range
+
+    def test_fracbits_zero_and_tiny(self):
+        assert fixed_point_fracbits(0.0, 8) == 7
+        assert fixed_point_fracbits(1e-300, 8) == 300  # capped, finite
+
+    def test_int_dtype_input_returns_float(self):
+        """Regression: casting the dequantized grid back to the input's
+        integer dtype truncated every fractional grid value to 0."""
+        x = np.arange(-5, 6, dtype=np.int32)
+        q = quantize_fixed(x, 8)
+        assert q.dtype == np.float64
+        np.testing.assert_array_equal(q, x.astype(np.float64))
+
+    def test_int_dtype_input_preserves_large_values(self):
+        x = np.array([1000, -1000, 3], dtype=np.int64)
+        q = quantize_fixed(x, 6)  # coarse grid: step 32 at this range
+        assert q.dtype == np.float64
+        assert np.abs(q - x).max() <= 32.0
+
+    def test_int_dtype_no_truncation_of_grid_values(self):
+        """Regression: pre-fix the dequantized grid was cast back to the
+        input's int dtype, truncating e.g. 3.5 -> 3 on top of the
+        saturation bug (so [4, 1] at 4 bits came back as [3, 1])."""
+        x = np.array([4, 1], dtype=np.int32)
+        np.testing.assert_array_equal(quantize_fixed(x, 4), [4.0, 1.0])
+
+    def test_quantize_to_fracbits_grid(self):
+        x = np.array([0.1, 0.26, -0.3])
+        q = quantize_to_fracbits(x, 3, 8)  # grid step 1/8
+        np.testing.assert_allclose(q * 8, np.round(q * 8), atol=1e-12)
+
+    def test_quantize_to_fracbits_ties_to_even(self):
+        # 0.5 * 2 = 1.0 ... use frac_bits=0: values at .5 round to even
+        x = np.array([0.5, 1.5, 2.5, -0.5, -1.5])
+        q = quantize_to_fracbits(x, 0, 8)
+        np.testing.assert_array_equal(q, [0.0, 2.0, 2.0, -0.0, -2.0])
+
+    def test_quantize_to_fracbits_asymmetric_clip(self):
+        # two's complement: most negative code is -qmax-1
+        q = quantize_to_fracbits(np.array([100.0, -100.0]), 0, 4)
+        np.testing.assert_array_equal(q, [7.0, -8.0])
 
 
 class TestContexts:
