@@ -9,6 +9,7 @@ Subcommands cover the library's main workflows without writing code:
 * ``score``    — recompute the DAC-SDC'19 score tables (Eqs. 2-5).
 * ``infer``    — timed batch inference via the eager or compiled engine.
 * ``serve``    — dynamic-batching inference server under synthetic load.
+* ``bench``    — perf-regression gate vs the checked-in BENCH baselines.
 * ``dataset``  — generate and save a synthetic dataset archive.
 * ``obs``      — render a JSONL trace written by ``--trace``.
 
@@ -17,6 +18,11 @@ and both route through :class:`repro.runtime.Session`; ``serve`` is
 ``infer --serve`` under a dedicated name.  ``train``, ``search``,
 ``infer`` and ``serve`` accept ``--trace PATH`` to record spans and
 metrics (see :mod:`repro.obs`) for later inspection with ``repro obs``.
+``infer``/``serve`` additionally take ``--metrics-port`` (a live
+Prometheus ``/metrics`` + ``/health`` endpoint for the duration of the
+run), ``--metrics-out`` (final exposition snapshot), and
+``--chrome-trace`` (per-worker-lane trace for ``chrome://tracing``);
+``profile --engine`` times a compiled plan kernel by kernel.
 """
 
 from __future__ import annotations
@@ -89,6 +95,19 @@ def _add_infer_options(p: argparse.ArgumentParser, serve: bool) -> None:
                             "with the analytic simulator")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record spans/metrics to a JSONL trace file")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="export the recorded spans/events as a Chrome "
+                        "trace-event JSON (open at chrome://tracing or "
+                        "Perfetto; one lane per worker thread); enables "
+                        "recording even without --trace")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve GET /metrics (Prometheus text exposition) "
+                        "and GET /health (JSON readiness) on this port "
+                        "for the duration of the run (0 = OS-assigned; "
+                        "enables recording)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the final /metrics exposition to this "
+                        "file at shutdown (enables recording)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--height", type=int, default=160)
     p.add_argument("--input-width", type=int, default=320)
     p.add_argument("--verbose", action="store_true")
+    p.add_argument("--engine", action="store_true",
+                   help="profile the *compiled engine* kernel by kernel "
+                        "(measured wall time, FLOPs, GFLOP/s per step) "
+                        "instead of the analytic TX2/Ultra96 models")
+    p.add_argument("--quant-bits", default=None, metavar="W,F",
+                   help="with --engine: also profile the integer-domain "
+                        "plan at these weight,feature-map bit widths and "
+                        "print the per-kernel fp32-vs-quant comparison")
+    p.add_argument("--batch", type=int, default=1,
+                   help="with --engine: input batch size")
+    p.add_argument("--reps", type=int, default=10,
+                   help="with --engine: timed forwards per profile")
 
     p = sub.add_parser("search", help="run the bottom-up design flow")
     p.add_argument("--images", type=int, default=96)
@@ -158,10 +189,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_infer_options(p, serve=True)
 
+    p = sub.add_parser(
+        "bench",
+        help="perf-regression gate: re-measure the engine/quant speedup "
+             "ratios and compare against the checked-in BENCH_*.json "
+             "baselines",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero when a fresh ratio falls below its "
+                        "baseline's noise floor (without --check the "
+                        "verdicts are reported but the exit code is 0)")
+    p.add_argument("--root", default=".",
+                   help="directory holding the BENCH_*.json baselines")
+    p.add_argument("--reps", type=int, default=3,
+                   help="timed forwards per arm (best-of-reps)")
+    p.add_argument("--gate-tolerance", type=float, default=1.0,
+                   metavar="SCALE",
+                   help="scale every metric's noise tolerance (raise on "
+                        "noisy shared-core CI hosts)")
+    p.add_argument("--inject-regression", type=float, default=None,
+                   metavar="FACTOR",
+                   help="multiply the fresh measurements by FACTOR to "
+                        "self-test the gate (0.5 must trip it)")
+    p.add_argument("--json", default=None, metavar="PATH", dest="json_out",
+                   help="also write the verdicts as JSON")
+
     p = sub.add_parser("obs", help="render a saved JSONL trace")
     p.add_argument("trace", help="trace file written by --trace")
     p.add_argument("--max-depth", type=int, default=None,
                    help="limit the span-tree depth")
+    p.add_argument("--chrome", default=None, metavar="OUT",
+                   help="also convert the trace to a Chrome trace-event "
+                        "JSON file")
 
     p = sub.add_parser("dataset", help="generate a synthetic dataset")
     p.add_argument("--kind", default="dacsdc",
@@ -267,6 +326,32 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_profile_engine(args) -> int:
+    """``repro profile <net> --engine``: measured per-kernel profile of
+    the compiled plan, optionally side by side with the quantized one."""
+    from .nn.engine import QuantConfig, compile_net
+    from .obs import render_comparison
+    from .zoo import build_backbone
+
+    backbone = build_backbone(args.backbone, width_mult=args.width)
+    backbone.eval()
+    x = np.random.default_rng(0).normal(
+        0, 1, (args.batch, 3, args.height, args.input_width)
+    ).astype(np.float32)
+    net = compile_net(backbone)
+    profile = net.profile(x, reps=args.reps)
+    print(profile.render())
+    if args.quant_bits:
+        parsed = QuantConfig.parse(args.quant_bits)
+        qnet = compile_net(backbone, quant=parsed, calibration=x)
+        qprofile = qnet.profile(x, reps=args.reps)
+        print()
+        print(qprofile.render())
+        print()
+        print(render_comparison(profile, qprofile))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .hardware.fpga import FpgaLatencyModel
     from .hardware.gpu import GpuLatencyModel
@@ -274,6 +359,8 @@ def _cmd_profile(args) -> int:
     from .hardware.spec import TX2, ULTRA96
     from .zoo import build_backbone
 
+    if args.engine:
+        return _cmd_profile_engine(args)
     backbone = build_backbone(args.backbone, width_mult=args.width)
     hw = (args.height, args.input_width)
     desc = backbone.layer_descriptors(hw)
@@ -418,10 +505,28 @@ def _cmd_infer(args) -> int:
     calibration = (np.stack([f - mean for f in frames[:8]])
                    if quant_bits is not None else None)
 
-    with _maybe_recording(args.trace):
+    from contextlib import nullcontext
+
+    from . import obs
+
+    telemetry = bool(args.trace or args.chrome_trace or args.metrics_out
+                     or args.metrics_port is not None)
+    holder: dict = {}  # the HTTP health endpoint outlives session load
+    http = None
+    with (obs.recording(args.trace) if telemetry else nullcontext()) as rec:
+        if args.metrics_port is not None:
+            http = obs.MetricsHTTPServer(
+                rec.metrics.records,
+                health_fn=lambda: (holder["session"].health()
+                                   if "session" in holder
+                                   else {"status": "loading"}),
+                port=args.metrics_port,
+            ).start()
+            print(f"metrics: {http.url}/metrics  health: {http.url}/health")
         t0 = time.perf_counter()
         session = Session.load(detector, config, serve=serve_cfg,
                                calibration=calibration)
+        holder["session"] = session
         load_ms = (time.perf_counter() - t0) * 1e3
         print(f"session({session.name}) backend={session.backend} "
               f"loaded in {load_ms:.1f} ms")
@@ -452,16 +557,45 @@ def _cmd_infer(args) -> int:
                       f"{wall * 1e3:.1f} ms ({len(frames) / wall:.1f} FPS)")
         finally:
             session.close()
+            if args.metrics_out and rec is not None:
+                with open(args.metrics_out, "w") as fh:
+                    fh.write(obs.prometheus_text(rec.metrics.records()))
+                print(f"metrics exposition written to {args.metrics_out}")
+            if http is not None:
+                http.stop()
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.chrome_trace and rec is not None:
+        obs.export_chrome_trace(rec.records(), args.chrome_trace)
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(open at chrome://tracing)")
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .obs.bench import run_gate
+
+    code = run_gate(
+        root=args.root,
+        reps=args.reps,
+        tolerance_scale=args.gate_tolerance,
+        inject_regression=args.inject_regression,
+        out_json=args.json_out,
+    )
+    if code == 1 and not args.check:
+        print("(reporting only; rerun with --check to fail on regression)")
+        return 0
+    return code
+
+
 def _cmd_obs(args) -> int:
-    from .obs import load_trace, render_trace
+    from .obs import export_chrome_trace, load_trace, render_trace
 
     records = load_trace(args.trace)
     print(render_trace(records, max_depth=args.max_depth))
+    if args.chrome:
+        export_chrome_trace(records, args.chrome)
+        print(f"chrome trace written to {args.chrome}")
     return 0
 
 
@@ -515,6 +649,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "infer": _cmd_infer,
     "serve": _cmd_infer,
+    "bench": _cmd_bench,
     "dataset": _cmd_dataset,
     "obs": _cmd_obs,
 }

@@ -412,6 +412,15 @@ class CompiledNet:
         # frames without the next call overwriting it.
         return np.array(regs[self.out_reg], copy=True)
 
+    def profile(self, x: np.ndarray, reps: int = 10, warmup: int = 2):
+        """Per-step timing of this plan (see
+        :func:`repro.obs.profile.profile_net`): wall time, dtype, FLOP
+        estimate, and achieved GFLOP/s for every kernel — the
+        decomposition behind ``repro profile --engine``."""
+        from ...obs.profile import profile_net
+
+        return profile_net(self, x, reps=reps, warmup=warmup)
+
     # ------------------------------------------------------------------ #
     def clone_for_thread(self) -> "CompiledNet":
         """A clone sharing this plan's kernels but owning a fresh arena.

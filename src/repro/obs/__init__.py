@@ -19,17 +19,41 @@ so instrumented hot loops pay effectively nothing.  Enable with
 :func:`enable` / :func:`recording`, or the ``--trace`` CLI flags.
 """
 
+from .context import (
+    RequestContext,
+    current_context,
+    merged_context,
+    new_request_id,
+    request_scope,
+    use_context,
+)
+from .export import (
+    MetricsHTTPServer,
+    MetricsSnapshotter,
+    chrome_trace_events,
+    export_chrome_trace,
+    prometheus_text,
+)
 from .layer_timer import LayerTimer
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    KernelProfile,
+    StepProfile,
+    profile_net,
+    render_comparison,
+    render_profile,
+)
 from .recorder import (
     Recorder,
     disable,
     enable,
     enabled,
+    event,
     get_recorder,
     inc,
     load_trace,
     observe,
+    record_span,
     recording,
     render_trace,
     set_gauge,
@@ -55,10 +79,28 @@ __all__ = [
     "enabled",
     "recording",
     "span",
+    "record_span",
+    "event",
     "inc",
     "set_gauge",
     "observe",
     "load_trace",
     "render_trace",
     "LayerTimer",
+    "RequestContext",
+    "current_context",
+    "use_context",
+    "request_scope",
+    "merged_context",
+    "new_request_id",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "prometheus_text",
+    "MetricsSnapshotter",
+    "MetricsHTTPServer",
+    "KernelProfile",
+    "StepProfile",
+    "profile_net",
+    "render_profile",
+    "render_comparison",
 ]

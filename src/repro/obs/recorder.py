@@ -13,6 +13,7 @@ manager) routes the same calls to a live tracer + metrics registry.
 from __future__ import annotations
 
 import json
+import time
 from contextlib import contextmanager
 
 from .metrics import MetricsRegistry
@@ -27,6 +28,8 @@ __all__ = [
     "enabled",
     "recording",
     "span",
+    "record_span",
+    "event",
     "inc",
     "set_gauge",
     "observe",
@@ -35,20 +38,50 @@ __all__ = [
 ]
 
 
+def _record_time_key(rec: dict) -> float:
+    """Timeline position of any record kind, for interleaved export."""
+    if rec.get("type") == "span":
+        return rec.get("start_ms", 0.0)
+    if rec.get("type") == "event":
+        return rec.get("ts_ms", 0.0)
+    ts = rec.get("updated_ms")
+    return float("inf") if ts is None else ts
+
+
 class Recorder:
     """A tracer and a metrics registry that export to one JSONL file."""
 
     def __init__(self) -> None:
         self.tracer = Tracer()
-        self.metrics = MetricsRegistry()
+        # Same epoch for both: metric updated_ms and span start_ms must
+        # interleave on one timeline in export_jsonl.
+        self.metrics = MetricsRegistry(epoch=self.tracer.epoch)
+        self.created_unix = time.time()
 
     def records(self) -> list[dict]:
         return self.tracer.records() + self.metrics.records()
 
     def export_jsonl(self, path: str) -> None:
-        """Write spans then metrics, one JSON object per line."""
+        """Write one self-contained JSONL artifact reconstructing the run.
+
+        A leading ``meta`` record anchors the monotonic timeline to wall
+        time; then spans, instant events, and metric records interleave
+        in timeline order (spans by start, metrics by last update — an
+        instrument never touched sorts last), so a reader replaying the
+        file sees measurements in the order they happened.
+        """
+        records = sorted(self.records(), key=_record_time_key)
+        meta = {
+            "type": "meta",
+            "created_unix": self.created_unix,
+            "exported_unix": time.time(),
+            "spans": len(self.tracer.spans),
+            "events": len(self.tracer.events),
+            "metrics": len(self.metrics),
+        }
         with open(path, "w") as fh:
-            for rec in self.records():
+            fh.write(json.dumps(meta, default=str) + "\n")
+            for rec in records:
                 fh.write(json.dumps(rec, default=str) + "\n")
 
     def render(self, max_depth: int | None = None) -> str:
@@ -139,6 +172,21 @@ def span(name: str, **attrs):
     return recorder.tracer.span(name, **attrs)
 
 
+def record_span(name: str, start_s: float, end_s: float, **attrs) -> None:
+    """Record an externally-timed span (``time.perf_counter`` readings)
+    on the global recorder; no-op when disabled."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.tracer.record_span(name, start_s, end_s, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an instant structured event on the global recorder."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.tracer.event(name, **attrs)
+
+
 def inc(name: str, amount: float = 1.0) -> None:
     """Bump a counter on the global recorder."""
     recorder = _RECORDER
@@ -175,10 +223,11 @@ def load_trace(path: str) -> list[dict]:
 
 
 def render_trace(records: list[dict], max_depth: int | None = None) -> str:
-    """Human-readable report: span tree, per-name totals, metrics."""
+    """Human-readable report: span tree, per-name totals, events, metrics."""
     from ..utils.tables import format_table
 
     spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
     metrics = [r for r in records if r.get("type") in
                ("counter", "gauge", "histogram")]
     parts = ["== span tree ==",
@@ -192,10 +241,21 @@ def render_trace(records: list[dict], max_depth: int | None = None) -> str:
               f"{a['mean_ms']:.2f}"] for a in agg],
             title="== span totals ==",
         ))
+    if events:
+        parts.append("")
+        rows = [[e["ts_ms"], e["name"],
+                 _format_event_attrs(e.get("attrs", {}))]
+                for e in sorted(events, key=lambda e: e.get("ts_ms", 0.0))]
+        parts.append(format_table(["ts ms", "event", "attrs"], rows,
+                                  title="== events =="))
     if metrics:
         parts.append("")
         parts.append(_render_metric_records(metrics))
     return "\n".join(parts)
+
+
+def _format_event_attrs(attrs: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in attrs.items())
 
 
 def _render_metric_records(records: list[dict]) -> str:

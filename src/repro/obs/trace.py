@@ -17,10 +17,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from .context import current_context
+
 __all__ = [
     "Span",
     "Tracer",
     "span_record",
+    "event_record",
     "render_span_tree",
     "aggregate_spans",
 ]
@@ -28,7 +31,12 @@ __all__ = [
 
 @dataclass
 class Span:
-    """One timed region.  ``start_ms`` is an offset from the tracer epoch."""
+    """One timed region.  ``start_ms`` is an offset from the tracer epoch.
+
+    ``request_id``/``trace_id`` attribute the span to the serving
+    request active when it was opened (see :mod:`repro.obs.context`);
+    both stay ``None`` outside a request scope.
+    """
 
     name: str
     span_id: int
@@ -37,6 +45,8 @@ class Span:
     duration_ms: float = 0.0
     thread: int = 0
     attrs: dict = field(default_factory=dict)
+    request_id: str | None = None
+    trace_id: str | None = None
 
     def set(self, **attrs) -> "Span":
         """Attach extra attributes mid-span (e.g. a result computed late)."""
@@ -91,6 +101,12 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._finished: list[Span] = []
+        self._events: list[dict] = []
+
+    @property
+    def epoch(self) -> float:
+        """``time.perf_counter`` reading all span timestamps offset from."""
+        return self._epoch
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -105,6 +121,7 @@ class Tracer:
                 ...
                 sp.set(best_fitness=0.71)
         """
+        ctx = current_context()
         sp = Span(
             name=name,
             span_id=next(self._ids),
@@ -112,8 +129,55 @@ class Tracer:
             start_ms=0.0,
             thread=threading.get_ident(),
             attrs=dict(attrs),
+            request_id=None if ctx is None else ctx.request_id,
+            trace_id=None if ctx is None else ctx.trace_id,
         )
         return _ActiveSpan(self, sp)
+
+    def record_span(
+        self, name: str, start_s: float, end_s: float, **attrs
+    ) -> Span:
+        """Record an *externally timed* span from ``time.perf_counter``
+        readings.
+
+        For regions whose start and end live on different threads — a
+        request's queue wait starts in ``submit`` and ends when a worker
+        dequeues it — no context manager can wrap the region; the worker
+        reconstructs it from the timestamps it already has.  The span is
+        parentless and attributed to the ambient request context.
+        """
+        ctx = current_context()
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=None,
+            start_ms=(start_s - self._epoch) * 1e3,
+            duration_ms=max(0.0, (end_s - start_s) * 1e3),
+            thread=threading.get_ident(),
+            attrs=dict(attrs),
+            request_id=None if ctx is None else ctx.request_id,
+            trace_id=None if ctx is None else ctx.trace_id,
+        )
+        with self._lock:
+            self._finished.append(sp)
+        return sp
+
+    def event(self, name: str, **attrs) -> dict:
+        """Record an instant (zero-duration) structured event — breaker
+        trips, watchdog respawns, state transitions.  Exported as its
+        own ``"event"`` record kind and as an instant marker in the
+        Chrome trace."""
+        ctx = current_context()
+        rec = event_record(
+            name=name,
+            ts_ms=(time.perf_counter() - self._epoch) * 1e3,
+            thread=threading.get_ident(),
+            attrs=dict(attrs),
+            request_id=None if ctx is None else ctx.request_id,
+        )
+        with self._lock:
+            self._events.append(rec)
+        return rec
 
     @property
     def spans(self) -> list[Span]:
@@ -121,8 +185,14 @@ class Tracer:
         with self._lock:
             return list(self._finished)
 
+    @property
+    def events(self) -> list[dict]:
+        """Instant-event records in emission order."""
+        with self._lock:
+            return list(self._events)
+
     def records(self) -> list[dict]:
-        return [span_record(s) for s in self.spans]
+        return [span_record(s) for s in self.spans] + self.events
 
     def export_jsonl(self, fh) -> None:
         """Write one JSON object per finished span to an open file."""
@@ -135,7 +205,7 @@ class Tracer:
 
 def span_record(span: Span) -> dict:
     """The JSONL schema for one span (documented in README/DESIGN)."""
-    return {
+    rec = {
         "type": "span",
         "name": span.name,
         "id": span.span_id,
@@ -145,6 +215,25 @@ def span_record(span: Span) -> dict:
         "thread": span.thread,
         "attrs": span.attrs,
     }
+    if span.request_id is not None:
+        rec["request"] = span.request_id
+        rec["trace"] = span.trace_id
+    return rec
+
+
+def event_record(name: str, ts_ms: float, thread: int, attrs: dict,
+                 request_id: str | None = None) -> dict:
+    """The JSONL schema for one instant event."""
+    rec = {
+        "type": "event",
+        "name": name,
+        "ts_ms": round(ts_ms, 3),
+        "thread": thread,
+        "attrs": attrs,
+    }
+    if request_id is not None:
+        rec["request"] = request_id
+    return rec
 
 
 def _format_attrs(attrs: dict) -> str:

@@ -86,6 +86,7 @@ class CircuitBreaker:
                 self._state = HALF_OPEN
                 self._probing = True
                 obs.inc("serve/breaker_half_open")
+                obs.event("serve/breaker_half_open", breaker=self.name)
                 return True
             # HALF_OPEN: one probe in flight at a time
             if self._probing:
@@ -101,6 +102,7 @@ class CircuitBreaker:
             if self._state != CLOSED:
                 self._state = CLOSED
                 obs.inc("serve/breaker_closed")
+                obs.event("serve/breaker_closed", breaker=self.name)
 
     def record_failure(self) -> None:
         """A primary call failed: count it; trip when over threshold or
@@ -118,6 +120,8 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self.opened_count += 1
                 obs.inc("serve/breaker_open")
+                obs.event("serve/breaker_open", breaker=self.name,
+                          failures=self._failures)
 
     def snapshot(self) -> dict:
         """State summary for :meth:`InferenceServer.health`."""

@@ -276,8 +276,12 @@ class Session:
         single = x.ndim == 3
         if single:
             x = x[None]
-        with obs.span("runtime/run", session=self.name,
-                      backend=self.backend, batch=x.shape[0]):
+        # A bare run() becomes its own request; a run issued under a
+        # server batch keeps the batch's attribution (request_scope
+        # reuses any ambient context).
+        with obs.request_scope(prefix="run", backend=self.backend), \
+                obs.span("runtime/run", session=self.name,
+                         backend=self.backend, batch=x.shape[0]):
             out = self._run_batch(x)
         return out[0] if single else out
 

@@ -57,6 +57,10 @@ class ServeResult:
     batch_size:
         Size of the dynamic batch this request ran in (0 if it never
         ran).
+    request_id:
+        The request id assigned at :meth:`InferenceServer.submit` —
+        the same id stamped on every span the request touched, so a
+        caller can join its result to the trace.
     """
 
     status: str
@@ -64,6 +68,7 @@ class ServeResult:
     error: str | None = None
     latency_ms: float = 0.0
     batch_size: int = 0
+    request_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in _CODES:

@@ -42,8 +42,15 @@ arenas are never shared across threads.  Everything is observable
 through :mod:`repro.obs`: ``serve/queue_depth`` gauge,
 ``serve/batch_size`` histogram, ``serve/shed`` / ``serve/timeout`` /
 ``serve/completed`` / ``serve/retries`` / ``serve/bisect`` /
-``serve/worker_respawn`` / ``serve/breaker_*`` counters, and a
-``serve/batch`` span per forward.
+``serve/worker_respawn`` / ``serve/breaker_*`` counters, a
+``serve/queue_wait`` span per dequeued request, a ``serve/batch`` span
+per forward, and a ``serve/worker_respawn`` instant event per watchdog
+revival.  Every request is minted a
+:class:`~repro.obs.RequestContext` in :meth:`InferenceServer.submit`;
+the context rides the queue and is re-entered around the batch forward,
+so queue-wait, batch, and engine kernel spans all carry the request id
+(comma-joined for coalesced batches) and results expose it as
+``ServeResult.request_id``.
 """
 
 from __future__ import annotations
@@ -73,7 +80,15 @@ __all__ = ["InferenceServer", "ServerStats"]
 
 
 class ServerStats:
-    """Thread-safe request accounting for one server."""
+    """Thread-safe request accounting for one server.
+
+    Counters that move together (a resolved batch bumps ``completed``,
+    ``batches`` and ``batched_requests`` at once) must be written
+    through one :meth:`add_many` call — three separate :meth:`add` calls
+    would let a concurrent :meth:`snapshot` observe a *torn* state where
+    ``completed`` moved but ``batches`` has not, and a scrape during a
+    worker respawn would report an impossible mean batch size.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -94,19 +109,30 @@ class ServerStats:
         with self._lock:
             setattr(self, field, getattr(self, field) + amount)
 
+    def add_many(self, **fields: int) -> None:
+        """Bump several counters atomically (one lock acquisition)."""
+        with self._lock:
+            for field, amount in fields.items():
+                setattr(self, field, getattr(self, field) + amount)
+
     def mean_batch_size(self) -> float:
         with self._lock:
             return self.batched_requests / self.batches if self.batches else 0.0
 
     def snapshot(self) -> dict:
+        """A consistent point-in-time copy of every counter, stamped
+        with the monotonic clock (``ts_monotonic``) so scrape consumers
+        can order snapshots without trusting wall time."""
         with self._lock:
             return {
+                "ts_monotonic": time.monotonic(),
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "shed": self.shed,
                 "timeouts": self.timeouts,
                 "errors": self.errors,
                 "batches": self.batches,
+                "batched_requests": self.batched_requests,
                 "retries": self.retries,
                 "bisections": self.bisections,
                 "respawns": self.respawns,
@@ -120,13 +146,21 @@ class ServerStats:
 
 
 class _Request:
-    __slots__ = ("image", "future", "submitted_at", "deadline_at")
+    __slots__ = ("image", "future", "submitted_at", "deadline_at", "ctx")
 
-    def __init__(self, image, future, submitted_at, deadline_at) -> None:
+    def __init__(self, image, future, submitted_at, deadline_at,
+                 ctx=None) -> None:
         self.image = image
         self.future = future
         self.submitted_at = submitted_at
         self.deadline_at = deadline_at
+        # RequestContext minted in submit(); rides the queue so worker
+        # threads can attribute their spans to this request.
+        self.ctx = ctx
+
+    @property
+    def request_id(self) -> str | None:
+        return None if self.ctx is None else self.ctx.request_id
 
 
 class _WorkerRunners:
@@ -228,19 +262,26 @@ class InferenceServer:
         future: Future = Future()
         now = time.perf_counter()
         self.stats.add("submitted")
-        if self._stopping.is_set():
-            future.set_result(ServeResult(STATUS_SHUTDOWN))
-            return future
         if deadline_ms is None:
             deadline_ms = self.config.deadline_ms
+        ctx = obs.RequestContext.new(
+            prefix=self.name, deadline_ms=deadline_ms
+        )
+        if self._stopping.is_set():
+            future.set_result(
+                ServeResult(STATUS_SHUTDOWN, request_id=ctx.request_id)
+            )
+            return future
         deadline_at = None if deadline_ms is None else now + deadline_ms / 1e3
-        request = _Request(image, future, now, deadline_at)
+        request = _Request(image, future, now, deadline_at, ctx)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             self.stats.add("shed")
             obs.inc("serve/shed")
-            future.set_result(ServeResult(STATUS_SHED))
+            future.set_result(
+                ServeResult(STATUS_SHED, request_id=ctx.request_id)
+            )
             return future
         obs.inc("serve/requests")
         obs.set_gauge("serve/queue_depth", self._queue.qsize())
@@ -295,13 +336,20 @@ class InferenceServer:
         for i, batch in enumerate(self._inflight):
             self._inflight[i] = None
             for request in batch or ():
-                _resolve(request.future, ServeResult(STATUS_SHUTDOWN))
+                _resolve(
+                    request.future,
+                    ServeResult(STATUS_SHUTDOWN,
+                                request_id=request.request_id),
+                )
         while True:
             try:
                 request = self._queue.get_nowait()
             except queue.Empty:
                 break
-            _resolve(request.future, ServeResult(STATUS_SHUTDOWN))
+            _resolve(
+                request.future,
+                ServeResult(STATUS_SHUTDOWN, request_id=request.request_id),
+            )
 
     def __enter__(self) -> "InferenceServer":
         return self
@@ -363,12 +411,17 @@ class InferenceServer:
                     except queue.Full:
                         self.stats.add("shed")
                         obs.inc("serve/shed")
-                        _resolve(request.future, ServeResult(STATUS_SHED))
+                        _resolve(
+                            request.future,
+                            ServeResult(STATUS_SHED,
+                                        request_id=request.request_id),
+                        )
+                self.stats.add_many(respawns=1, requeued=requeued)
                 if requeued:
-                    self.stats.add("requeued", requeued)
                     obs.inc("serve/requeued", requeued)
-                self.stats.add("respawns")
                 obs.inc("serve/worker_respawn")
+                obs.event("serve/worker_respawn", server=self.name,
+                          worker=i, requeued=requeued)
                 self._workers[i] = self._spawn(i)
 
     def _fill_batch(self, first: _Request) -> list[_Request]:
@@ -396,8 +449,18 @@ class InferenceServer:
         rng: np.random.Generator,
     ) -> None:
         now = time.perf_counter()
+        recording = obs.enabled()
         live: list[_Request] = []
         for request in batch:
+            if recording:
+                # The queue wait started on the submit thread and ended
+                # here; reconstruct it from the timestamps, attributed
+                # to the request that waited.
+                with obs.use_context(request.ctx):
+                    obs.record_span(
+                        "serve/queue_wait", request.submitted_at, now,
+                        server=self.name, worker=worker,
+                    )
             if request.deadline_at is not None and now > request.deadline_at:
                 self.stats.add("timeouts")
                 obs.inc("serve/timeout")
@@ -406,6 +469,7 @@ class InferenceServer:
                     ServeResult(
                         STATUS_TIMEOUT,
                         latency_ms=(now - request.submitted_at) * 1e3,
+                        request_id=request.request_id,
                     ),
                 )
             else:
@@ -446,7 +510,11 @@ class InferenceServer:
                     raise faults.InjectedFault("injected runner crash")
                 if spec is not None and spec.kind == "stall":
                     time.sleep(spec.delay_s)
-                with obs.span(
+                batch_ctx = obs.merged_context(
+                    [r.ctx for r in live],
+                    backend="fallback" if on_fallback else "primary",
+                )
+                with obs.use_context(batch_ctx), obs.span(
                     "serve/batch", server=self.name, worker=worker,
                     batch=len(live),
                     backend="fallback" if on_fallback else "primary",
@@ -498,14 +566,17 @@ class InferenceServer:
                     STATUS_ERROR, error=last_error,
                     latency_ms=(done - request.submitted_at) * 1e3,
                     batch_size=len(live),
+                    request_id=request.request_id,
                 ),
             )
 
     def _resolve_ok(self, live: list[_Request], out: np.ndarray) -> None:
         done = time.perf_counter()
-        self.stats.add("completed", len(live))
-        self.stats.add("batches")
-        self.stats.add("batched_requests", len(live))
+        # One atomic bump: a concurrent snapshot() must never see
+        # completed move while batches lags (torn mean batch size).
+        self.stats.add_many(
+            completed=len(live), batches=1, batched_requests=len(live),
+        )
         obs.inc("serve/completed", len(live))
         obs.observe("serve/batch_size", len(live))
         for i, request in enumerate(live):
@@ -515,6 +586,7 @@ class InferenceServer:
                     STATUS_OK, value=out[i],
                     latency_ms=(done - request.submitted_at) * 1e3,
                     batch_size=len(live),
+                    request_id=request.request_id,
                 ),
             )
 

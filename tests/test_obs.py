@@ -210,9 +210,10 @@ class TestRecorder:
             obs.observe("loss", 0.25)
         records = obs.load_trace(path)
         kinds = {r["type"] for r in records}
-        assert kinds == {"span", "counter", "histogram"}
-        root = next(r for r in records if r["name"] == "root")
-        leaf = next(r for r in records if r["name"] == "leaf")
+        assert kinds == {"meta", "span", "counter", "histogram"}
+        assert records[0]["type"] == "meta"  # header record leads
+        root = next(r for r in records if r.get("name") == "root")
+        leaf = next(r for r in records if r.get("name") == "leaf")
         assert leaf["parent"] == root["id"]
         assert root["attrs"] == {"stage": 1}
         # every line is valid standalone JSON
