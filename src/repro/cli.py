@@ -75,6 +75,12 @@ def _add_infer_options(p: argparse.ArgumentParser, serve: bool) -> None:
                    help="per-request deadline; queued past it -> 504")
     p.add_argument("--workers", type=int, default=1,
                    help="server worker threads (one engine clone each)")
+    p.add_argument("--worker-backend", default="thread",
+                   choices=["thread", "process"],
+                   help="'thread' keeps workers in-process (GIL-bound); "
+                        "'process' gives each worker a child process "
+                        "with its own engine and shared-memory tensor "
+                        "transport")
     p.add_argument("--concurrency", type=int, default=8,
                    help="client threads submitting load in serve mode")
     p.add_argument("--microbatch", type=int, default=0,
@@ -494,6 +500,7 @@ def _cmd_infer(args) -> int:
         max_wait_ms=args.max_wait_ms,
         deadline_ms=args.deadline_ms,
         num_workers=args.workers,
+        worker_backend=args.worker_backend,
         max_retries=args.retries,
         breaker_threshold=args.breaker_threshold,
     )

@@ -48,6 +48,7 @@ class BufferArena:
             raise ValueError("max_buffers must be >= 1 (or None, unbounded)")
         self.max_buffers = max_buffers
         self._buffers: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._spares: dict[tuple, list[np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -71,7 +72,14 @@ class BufferArena:
                     f"({int(np.prod(shape)) * np.dtype(dtype).itemsize} "
                     f"bytes)"
                 )
-            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            spares = self._spares.get((shape, np.dtype(dtype)))
+            if spares:
+                buf = spares.pop()
+                if zero:
+                    buf.fill(0)
+            else:
+                buf = (np.zeros(shape, dtype) if zero
+                       else np.empty(shape, dtype))
             self._buffers[key] = buf
             self.misses += 1
             if self.max_buffers is not None:
@@ -85,9 +93,39 @@ class BufferArena:
             self._buffers.move_to_end(key)
         return buf
 
+    def prewarm(self, shapes, dtype=np.float32) -> int:
+        """Pre-allocate (and page-fault) buffers for the given shapes.
+
+        ``shapes`` is an iterable of shape tuples, or of ``(shape,
+        dtype)`` pairs to mix precisions.  The arrays land in a spare
+        pool; the first ``get`` miss for a matching ``(shape, dtype)``
+        adopts one instead of allocating, so a server that prewarm's the
+        steady-state batch geometry pays neither ``np.empty`` nor the
+        first-touch page faults on its first request.  Returns the
+        number of bytes prewarmed.
+        """
+        total = 0
+        for spec in shapes:
+            if (len(spec) == 2 and isinstance(spec[0], tuple)):
+                shape, dt = spec
+            else:
+                shape, dt = tuple(spec), dtype
+            buf = np.zeros(shape, dt)  # zeros touches every page
+            self._spares.setdefault((shape, np.dtype(dt)), []).append(buf)
+            total += buf.nbytes
+        if obs.enabled():
+            obs.set_gauge("engine/arena/pooled_bytes", self.nbytes())
+        return total
+
+    def shapes(self) -> list[tuple[tuple[int, ...], np.dtype]]:
+        """``(shape, dtype)`` of every pooled buffer (for prewarm replay)."""
+        return [(key[2], key[3]) for key in self._buffers]
+
     def nbytes(self) -> int:
         """Total bytes currently held by the pool."""
-        return sum(b.nbytes for b in self._buffers.values())
+        pooled = sum(b.nbytes for b in self._buffers.values())
+        spare = sum(b.nbytes for bufs in self._spares.values() for b in bufs)
+        return pooled + spare
 
     def __len__(self) -> int:
         return len(self._buffers)
@@ -95,6 +133,7 @@ class BufferArena:
     def clear(self) -> None:
         """Drop every pooled buffer (and reset the hit/miss counters)."""
         self._buffers.clear()
+        self._spares.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

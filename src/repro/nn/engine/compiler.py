@@ -307,6 +307,42 @@ def _fuse_bundles(nodes: list[_Node], out_reg: int) -> tuple[list[_Node], int]:
     return kept, out_reg
 
 
+def _fuse_bundle_pools(nodes: list[_Node], out_reg: int) -> tuple[list[_Node], int]:
+    """Fold ``bundle -> maxpool2x2/s2`` into the bundle's strip tail.
+
+    Pooling runs on the bundle's post-activation values, so the fused
+    result is bit-identical to the standalone pool step; fusing lets the
+    strip-tiled bundle pool each row strip while it is still
+    cache-resident instead of re-streaming the full pre-pool map from
+    DRAM.  fp32 plans only — the quantized lowering does its own pool
+    fusion into the requantize tail.
+    """
+    producer = {n.out: n for n in nodes}
+    counts = _consumer_counts(nodes, out_reg)
+    kept: list[_Node] = []
+    for node in nodes:
+        if (
+            node.kind == "maxpool"
+            and node.attrs["kernel"] == 2
+            and node.attrs["stride"] == 2
+        ):
+            prev = producer.get(node.inputs[0])
+            if (
+                prev is not None
+                and prev.kind == "bundle"
+                and "pool" not in prev.attrs
+                and counts[prev.out] == 1
+            ):
+                kept.remove(prev)
+                kept.append(
+                    _Node("bundle", list(prev.inputs), node.out,
+                          {**prev.attrs, "pool": (2, 2)})
+                )
+                continue
+        kept.append(node)
+    return kept, out_reg
+
+
 def _lower_node(node: _Node, key) -> K.Kernel:
     """Build the fp32 kernel for one optimized-plan node.
 
@@ -329,6 +365,7 @@ def _lower_node(node: _Node, key) -> K.Kernel:
                            dw["stride"], dw["pad"], dw["act"]),
             K.ConvKernel((key, "pw"), pw["weight"], pw["bias"],
                          pw["stride"], pw["pad"], pw["act"]),
+            pool=a.get("pool"),
         )
     if node.kind == "affine":
         return K.AffineKernel(key, a["scale"], a["shift"], a["act"])
@@ -412,6 +449,19 @@ class CompiledNet:
         # frames without the next call overwriting it.
         return np.array(regs[self.out_reg], copy=True)
 
+    def warmup(self, shape: tuple[int, ...], dtype=np.float32) -> int:
+        """Dry-run a zeros batch so the first real request allocates nothing.
+
+        One pass at the steady-state ``(N, C, H, W)`` shape faults in and
+        pools every arena buffer the plan will ever need at that
+        geometry (and publishes ``engine/arena/pooled_bytes``).  Returns
+        the arena's pooled byte count.
+        """
+        self(np.zeros(shape, dtype))
+        if obs.enabled():
+            obs.set_gauge("engine/arena/pooled_bytes", self.arena.nbytes())
+        return self.arena.nbytes()
+
     def profile(self, x: np.ndarray, reps: int = 10, warmup: int = 2):
         """Per-step timing of this plan (see
         :func:`repro.obs.profile.profile_net`): wall time, dtype, FLOP
@@ -485,6 +535,8 @@ def compile_net(
         nodes, out_reg = _fold_batchnorm(nodes, out_reg)
         nodes, out_reg = _fuse_activations(nodes, out_reg)
         nodes, out_reg = _fuse_bundles(nodes, out_reg)
+        if quant is None:
+            nodes, out_reg = _fuse_bundle_pools(nodes, out_reg)
         if quant is not None:
             from .quant import lower_quantized
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..im2col import conv_out_size
+from .threads import intra_op_matmul
 
 __all__ = [
     "Kernel",
@@ -101,6 +102,39 @@ def _im2col_into(
     return cols, oh, ow
 
 
+def _im2col_batched_into(
+    arena,
+    owner,
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> tuple[np.ndarray, int, int]:
+    """Channel-major im2col: returns (cols (C*kh*kw, N*OH*OW), OH, OW).
+
+    Same taps as :func:`_im2col_into` but laid out so the whole
+    microbatch feeds *one* ``(COUT, K) @ (K, N*OH*OW)`` GEMM instead of
+    N stacked GEMMs.  The layout change rides the copy im2col performs
+    anyway — only the destination index order differs."""
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if pad > 0:
+        xp = arena.get(
+            owner, "pad", (n, c, h + 2 * pad, w + 2 * pad), x.dtype, zero=True
+        )
+        xp[:, :, pad : pad + h, pad : pad + w] = x
+        x = xp
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    cols = arena.get(owner, "colsb", (c * kh * kw, n * oh * ow), np.float32)
+    np.copyto(
+        cols.reshape(c, kh, kw, n, oh, ow), windows.transpose(1, 4, 5, 0, 2, 3)
+    )
+    return cols, oh, ow
+
+
 class Kernel:
     """Base class: a compiled step with a stable arena identity."""
 
@@ -147,12 +181,29 @@ class ConvKernel(Kernel):
         cout = self._wmat.shape[0]
         if self.kh == 1 and self.kw == 1 and self.stride == 1 and self.pad == 0:
             cols, oh, ow = x.reshape(n, cin, h * w), h, w
+        elif n > 1:
+            # Batched path: one (COUT, K) @ (K, N*OH*OW) GEMM for the
+            # whole microbatch, then a transpose-scatter back to NCHW.
+            cols, oh, ow = _im2col_batched_into(
+                arena, self.key, x, self.kh, self.kw, self.stride, self.pad
+            )
+            outb = arena.get(self.key, "outb", (cout, n * oh * ow), np.float32)
+            intra_op_matmul(self._wmat, cols, outb)
+            if self.bias is not None:
+                outb += self.bias.reshape(cout, 1)
+            apply_activation(outb, self.act)
+            out = arena.get(self.key, "out", (n, cout, oh * ow), np.float32)
+            np.copyto(
+                out.reshape(n, cout, oh * ow),
+                outb.reshape(cout, n, oh * ow).transpose(1, 0, 2),
+            )
+            return out.reshape(n, cout, oh, ow)
         else:
             cols, oh, ow = _im2col_into(
                 arena, self.key, x, self.kh, self.kw, self.stride, self.pad
             )
         out = arena.get(self.key, "out", (n, cout, oh * ow), np.float32)
-        np.matmul(self._wmat, cols, out=out)
+        intra_op_matmul(self._wmat, cols, out)
         if self.bias is not None:
             out += self.bias.reshape(1, cout, 1)
         apply_activation(out, self.act)
@@ -206,15 +257,125 @@ class FusedBundleKernel(Kernel):
     the TensorRT-style fusion the TX2 deployment relies on.
     """
 
-    def __init__(self, key: int, dw: DWConvKernel, pw: ConvKernel) -> None:
+    # Strip tuning: target per-strip working set (bytes) and the minimum
+    # full-size working set below which stripping cannot pay.  At the
+    # paper's 160x320 deployment resolution a microbatch-8 bundle's
+    # column matrix alone is tens of MB — far past any cache — while the
+    # late 20x40 stages fit entirely and run faster unstripped.
+    STRIP_TARGET_BYTES = 8 << 20
+    STRIP_MIN_BYTES = 6 << 20
+
+    def __init__(
+        self,
+        key: int,
+        dw: DWConvKernel,
+        pw: ConvKernel,
+        pool: tuple[int, int] | None = None,
+    ) -> None:
         super().__init__(key)
         self.dw = dw
         self.pw = pw
-        self.label = f"bundle[{dw.label} | {pw.label}]"
+        self.pool = pool  # (kernel, stride); compiler only fuses (2, 2)
+        self._pool_kernel = (
+            None if pool is None
+            else MaxPoolKernel((key, "pool"), pool[0], pool[1])
+        )
+        self._strippable = (
+            dw.kh == 3 and dw.kw == 3 and dw.stride == 1 and dw.pad == 1
+            and pw.kh == 1 and pw.kw == 1 and pw.stride == 1 and pw.pad == 0
+        )
+        suffix = "" if pool is None else f"+maxpool{pool[0]}/s{pool[1]}"
+        self.label = f"bundle[{dw.label} | {pw.label}]{suffix}"
 
     def run(self, inputs: list[np.ndarray], arena) -> np.ndarray:
+        x = inputs[0]
+        if self._strippable and x.dtype == np.float32:
+            n, cin, h, w = x.shape
+            cout = self.pw._wmat.shape[0]
+            # Bytes touched per output row: im2col columns + dw output +
+            # pw output + padded input, all at width w and batch n.
+            row_bytes = 4 * n * w * (9 * cin + cin + cout + cin)
+            if row_bytes * h >= self.STRIP_MIN_BYTES and (
+                self.pool is None or (h % 2 == 0 and w % 2 == 0)
+            ):
+                return self._run_strips(x, arena, row_bytes)
         mid = self.dw.run(inputs, arena)
-        return self.pw.run([mid], arena)
+        out = self.pw.run([mid], arena)
+        if self._pool_kernel is not None:
+            out = self._pool_kernel.run([out], arena)
+        return out
+
+    def _run_strips(self, x: np.ndarray, arena, row_bytes: int) -> np.ndarray:
+        """Row-strip fused dw3x3 -> act -> pw1x1 -> act over the batch.
+
+        The strip works in channel-major ``(c, n, rows, w)`` layout so
+        each stage is one GEMM across the *whole* microbatch, and the
+        strip height is chosen so every intermediate stays cache-resident
+        between stages — the per-kernel DRAM round trips that make naive
+        batch-8 *slower* than 8x batch-1 never happen.  Identical taps
+        and reduction order as the unfused path, so outputs agree with
+        ``DWConvKernel`` + ``ConvKernel`` to float rounding.
+        """
+        n, cin, h, w = x.shape
+        cout = self.pw._wmat.shape[0]
+        wdw = self.dw._wmat  # (cin, 1, 9)
+        wpw = self.pw._wmat  # (cout, cin)
+        rows = max(1, min(h, self.STRIP_TARGET_BYTES // max(1, row_bytes)))
+        pooled = self.pool is not None
+        if pooled:
+            rows = max(2, rows - rows % 2)  # even strips pool exactly
+            out = arena.get(self.key, "out", (n, cout, h // 2, w // 2),
+                            np.float32)
+        else:
+            out = arena.get(self.key, "out", (n, cout, h, w), np.float32)
+        xc = x.transpose(1, 0, 2, 3)  # (cin, n, h, w) view
+        r0 = 0
+        while r0 < h:
+            nr = min(rows, h - r0)
+            m = n * nr * w
+            # Padded strip: rows 1..nr are data, rows 0/nr+1 are halo;
+            # columns 0/w+1 are never written and stay zero from alloc.
+            p = arena.get(self.key, "spad", (cin, n, nr + 2, w + 2),
+                          np.float32, zero=True)
+            p[:, :, 1 : 1 + nr, 1 : 1 + w] = xc[:, :, r0 : r0 + nr, :]
+            if r0 > 0:
+                p[:, :, 0, 1 : 1 + w] = xc[:, :, r0 - 1, :]
+            else:
+                p[:, :, 0, :] = 0.0
+            if r0 + nr < h:
+                p[:, :, 1 + nr, 1 : 1 + w] = xc[:, :, r0 + nr, :]
+            else:
+                p[:, :, 1 + nr, :] = 0.0
+            win = np.lib.stride_tricks.sliding_window_view(
+                p, (3, 3), axis=(2, 3))  # (cin, n, nr, w, 3, 3)
+            cols = arena.get(self.key, "scols", (cin, 9, m), np.float32)
+            np.copyto(cols.reshape(cin, 3, 3, n, nr, w),
+                      win.transpose(0, 4, 5, 1, 2, 3))
+            mid = arena.get(self.key, "smid", (cin, 1, m), np.float32)
+            np.matmul(wdw, cols, out=mid)
+            if self.dw.bias is not None:
+                mid += self.dw.bias.reshape(cin, 1, 1)
+            apply_activation(mid, self.dw.act)
+            pwout = arena.get(self.key, "spw", (cout, m), np.float32)
+            intra_op_matmul(wpw, mid.reshape(cin, m), pwout)
+            if self.pw.bias is not None:
+                pwout += self.pw.bias.reshape(cout, 1)
+            apply_activation(pwout, self.pw.act)
+            v = pwout.reshape(cout, n, nr, w)
+            if pooled:
+                # 2x2/s2 max over the post-activation strip: identical
+                # values to a standalone MaxPoolKernel on the full map.
+                pl = arena.get(self.key, "spool",
+                               (cout, n, nr // 2, w // 2), np.float32)
+                np.maximum(v[:, :, ::2, ::2], v[:, :, ::2, 1::2], out=pl)
+                np.maximum(pl, v[:, :, 1::2, ::2], out=pl)
+                np.maximum(pl, v[:, :, 1::2, 1::2], out=pl)
+                out[:, :, r0 // 2 : (r0 + nr) // 2, :] = (
+                    pl.transpose(1, 0, 2, 3))
+            else:
+                out[:, :, r0 : r0 + nr, :] = v.transpose(1, 0, 2, 3)
+            r0 += nr
+        return out
 
 
 class AffineKernel(Kernel):
@@ -411,7 +572,7 @@ class LinearKernel(Kernel):
         (x,) = inputs
         out = arena.get(self.key, "out", (x.shape[0], self._wt.shape[1]),
                         np.float32)
-        np.matmul(x, self._wt, out=out)
+        intra_op_matmul(x, self._wt, out)
         if self.bias is not None:
             out += self.bias
         apply_activation(out, self.act)

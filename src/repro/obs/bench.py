@@ -50,6 +50,14 @@ class GateMetric:
     path: tuple  # key path into the baseline JSON
     tolerance: float  # allowed relative degradation (0.30 = -30%)
     measured: bool  # False = tracked/reported but not re-measured
+    #: Hard minimum for the *recorded* baseline value itself — e.g. the
+    #: process backend must beat the serial loop (>= 1.0x) outright, not
+    #: merely avoid regressing.  ``None`` = no absolute floor.
+    abs_floor: float | None = None
+    #: Only enforce ``abs_floor`` when the baseline file recorded at
+    #: least this many host CPUs (a 1-core host cannot beat the serial
+    #: loop with worker processes, so gating there would always fail).
+    abs_floor_min_cpus: int = 2
 
     def floor(self, baseline: float, scale: float = 1.0) -> float:
         return baseline * (1.0 - min(0.95, self.tolerance * scale))
@@ -67,6 +75,9 @@ GATE_METRICS = (
                ("speed", "min_ratio"), tolerance=0.20, measured=True),
     GateMetric("serve/speedup_batch8", "BENCH_serve.json",
                ("results", "speedup_batch8"), tolerance=0.40, measured=False),
+    GateMetric("serve/speedup_vs_serial", "BENCH_serve.json",
+               ("results", "process", "speedup_vs_serial"), tolerance=0.40,
+               measured=False, abs_floor=1.0),
 )
 
 
@@ -101,6 +112,7 @@ def load_baselines(root: str = ".") -> dict[str, dict]:
             "source": spec.source,
             "input_hw": tuple(bench.get("input_hw", (48, 96))),
             "width": float(bench.get("width_mult", bench.get("width", 0.25))),
+            "host_cpus": int(bench.get("host_cpus", 1)),
         }
     return out
 
@@ -189,6 +201,15 @@ def compare_metrics(
             floor = spec.floor(base["value"], tolerance_scale)
             verdict.update(fresh=value, floor=floor,
                            regressed=value < floor, skipped=False)
+        # The absolute floor gates the recorded value itself, even for
+        # metrics the gate does not re-measure: a baseline below it is
+        # a loud failure, not a tracked number.
+        if (spec.abs_floor is not None
+                and base.get("host_cpus", 1) >= spec.abs_floor_min_cpus):
+            verdict["abs_floor"] = spec.abs_floor
+            if base["value"] < spec.abs_floor:
+                verdict["regressed"] = True
+                verdict["below_abs_floor"] = True
         verdicts.append(verdict)
     return verdicts
 
@@ -198,7 +219,11 @@ def render_verdicts(verdicts: list[dict]) -> str:
 
     rows = []
     for v in verdicts:
-        if v["skipped"]:
+        if v.get("below_abs_floor"):
+            status = f"BELOW {v['abs_floor']:.1f}x FLOOR"
+            fresh = "—" if v["skipped"] else f"{v['fresh']:.2f}x"
+            floor = f"{v['abs_floor']:.2f}x"
+        elif v["skipped"]:
             status, fresh, floor = "skipped", "—", "—"
         else:
             status = "REGRESSED" if v["regressed"] else "ok"

@@ -105,6 +105,13 @@ class ServeConfig:
         Worker threads, each with its own engine clone (and therefore
         its own :class:`~repro.nn.engine.BufferArena` — arenas are never
         shared across threads).
+    worker_backend:
+        ``"thread"`` runs each worker's forward in-process (zero startup
+        cost, but the GIL serializes the Python portions of concurrent
+        forwards); ``"process"`` gives each worker a child process with
+        its own engine and interpreter — true core-level parallelism,
+        shared-memory tensor transport, at the cost of per-worker
+        startup and memory (see :mod:`repro.serve.procpool`).
     max_retries:
         Re-run a failed batch this many times (exponential backoff with
         jitter between attempts) before bisecting or erroring.  ``0``
@@ -138,6 +145,7 @@ class ServeConfig:
     max_wait_ms: float = 2.0
     deadline_ms: float | None = None
     num_workers: int = 1
+    worker_backend: str = "thread"
     max_retries: int = 1
     retry_backoff_ms: float = 5.0
     bisect_failed_batches: bool = True
@@ -158,6 +166,11 @@ class ServeConfig:
             raise ValueError("deadline_ms must be positive (or None)")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.worker_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown worker_backend {self.worker_backend!r}; "
+                "expected 'thread' or 'process'"
+            )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff_ms < 0:

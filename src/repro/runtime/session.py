@@ -101,6 +101,9 @@ class Session:
         self._server = None
         self._serve_config = ServeConfig()
         self._server_lock = threading.Lock()
+        self._calibration = None
+        self._warmup_shape: tuple[int, ...] | None = None
+        self._procpool = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -112,6 +115,7 @@ class Session:
         config: SessionConfig | None = None,
         serve: ServeConfig | None = None,
         calibration=None,
+        warmup: tuple[int, ...] | None = None,
     ) -> "Session":
         """Resolve ``model`` into a runnable session.
 
@@ -133,6 +137,14 @@ class Session:
             scale calibration (see
             :func:`repro.nn.engine.compile_net`); required by that
             backend and ignored by the others.
+        warmup:
+            Steady-state input shape — ``(C, H, W)`` per image or a full
+            ``(N, C, H, W)`` batch shape — to dry-run at load time.  One
+            zeros pass pools every arena buffer
+            (:meth:`CompiledNet.warmup <repro.nn.engine.CompiledNet.warmup>`),
+            so the first real request pays no allocation spike; server
+            worker runners (thread clones and worker processes alike)
+            warm the same shape at the serving batch size.
         """
         from ..nn.engine import CompiledNet, CompileError, QuantConfig
         from ..nn.module import Module
@@ -209,6 +221,21 @@ class Session:
                 session._eager_forward = target
         if serve is not None:
             session._serve_config = serve
+        session._calibration = calibration
+        if warmup is not None:
+            shape = tuple(warmup)
+            if len(shape) == 3:
+                shape = (1,) + shape
+            if len(shape) != 4:
+                raise ValueError(
+                    f"warmup shape must be (C, H, W) or (N, C, H, W), "
+                    f"got {warmup!r}"
+                )
+            session._warmup_shape = shape
+            session._run_batch(np.zeros(shape, np.float32))
+            arena = getattr(session._forward, "arena", None)
+            if arena is not None and obs.enabled():
+                obs.set_gauge("engine/arena/pooled_bytes", arena.nbytes())
         obs.inc(f"runtime/sessions/{session.backend}")
         return session
 
@@ -324,6 +351,12 @@ class Session:
         def runner(x: np.ndarray) -> np.ndarray:
             return _tiled(fn, post, x, microbatch)
 
+        if self._warmup_shape is not None:
+            # Pool the fresh clone's arena at the steady-state serving
+            # batch shape before any real request reaches it.
+            n = max(self._warmup_shape[0],
+                    self._serve_config.max_batch_size)
+            runner(np.zeros((n,) + self._warmup_shape[1:], np.float32))
         return runner
 
     def fallback_runner_for_thread(self):
@@ -362,11 +395,31 @@ class Session:
                     fallback = (self.fallback_runner_for_thread
                                 if self._eager_forward is not None
                                 else None)
+                    if self._serve_config.worker_backend == "process":
+                        factory = self._process_pool().runner_factory
+                    else:
+                        factory = self.runner_for_thread
                     self._server = InferenceServer(
-                        self.runner_for_thread, self._serve_config,
+                        factory, self._serve_config,
                         name=self.name, fallback_factory=fallback,
                     )
         return self._server.submit(image, deadline_ms=deadline_ms)
+
+    def _process_pool(self):
+        """Build the worker-process pool for the ``"process"`` backend."""
+        from ..serve.procpool import ProcessPool, WorkerSpec
+
+        if self._procpool is None:
+            warmup = None
+            if self._warmup_shape is not None:
+                warmup = ((self._serve_config.max_batch_size,)
+                          + self._warmup_shape[1:])
+            self._procpool = ProcessPool(WorkerSpec.for_model(
+                self.model, config=self.config,
+                calibration=self._calibration,
+                warmup_shape=warmup, name=self.name,
+            ))
+        return self._procpool
 
     def health(self) -> dict:
         """Server readiness snapshot (see
@@ -376,12 +429,17 @@ class Session:
             return {"status": "idle", "backend": self.backend}
         health = self._server.health()
         health["backend"] = self.backend
+        if self._procpool is not None:
+            health["procpool"] = self._procpool.stats()
         return health
 
     def close(self) -> None:
-        """Stop the serving threads (idempotent); ``run`` keeps working."""
+        """Stop the serving threads and any worker processes
+        (idempotent); ``run`` keeps working."""
         if self._server is not None:
             self._server.stop()
+        if self._procpool is not None:
+            self._procpool.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -15,6 +15,7 @@ this package is the machinery behind it::
         boxes = [r.value for r in results if r.ok]
 """
 
+from .procpool import ProcessPool, ProcWorkerDied, ProcWorkerError, WorkerSpec
 from .result import (
     STATUS_ERROR,
     STATUS_OK,
@@ -27,6 +28,9 @@ from .server import InferenceServer, ServerStats
 
 __all__ = [
     "InferenceServer",
+    "ProcessPool",
+    "ProcWorkerDied",
+    "ProcWorkerError",
     "ServerStats",
     "ServeResult",
     "STATUS_ERROR",
@@ -34,4 +38,5 @@ __all__ = [
     "STATUS_SHED",
     "STATUS_SHUTDOWN",
     "STATUS_TIMEOUT",
+    "WorkerSpec",
 ]

@@ -381,7 +381,7 @@ class InferenceServer:
                 first = self._queue.get(timeout=0.02)
             except queue.Empty:
                 continue
-            batch = self._fill_batch(first)
+            batch = self._fill_batch(first, index)
             self._inflight[index] = batch
             spec = faults.trigger("serve.worker")
             if spec is not None and spec.kind == "crash":
@@ -424,9 +424,15 @@ class InferenceServer:
                           worker=i, requeued=requeued)
                 self._workers[i] = self._spawn(i)
 
-    def _fill_batch(self, first: _Request) -> list[_Request]:
+    def _fill_batch(self, first: _Request, index: int) -> list[_Request]:
         """Coalesce requests: flush on ``max_batch_size`` or on the
-        ``max_wait_ms`` window from the first dequeue, whichever first."""
+        ``max_wait_ms`` window from the first dequeue, whichever first.
+
+        A *lone* request — empty queue and no other worker holding a
+        batch — flushes immediately instead of burning the full wait
+        window: there is nothing to coalesce with, so waiting would buy
+        batch size 1 at ``max_wait_ms`` extra latency (the
+        ``concurrency1`` closed-loop penalty)."""
         batch = [first]
         flush_at = time.perf_counter() + self.config.max_wait_ms / 1e3
         while len(batch) < self.config.max_batch_size:
@@ -435,6 +441,11 @@ class InferenceServer:
                 continue
             except queue.Empty:
                 pass
+            if all(
+                inflight is None or i == index
+                for i, inflight in enumerate(self._inflight)
+            ):
+                break
             remaining = flush_at - time.perf_counter()
             if remaining <= 0 or self._stopping.is_set():
                 break

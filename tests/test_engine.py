@@ -95,10 +95,13 @@ class TestEquivalence:
 
 class TestPlan:
     def test_bundles_fused(self, rng):
-        """SkyNet-A = 5 bundles + 3 pools -> exactly 8 kernels."""
+        """SkyNet-A = 5 bundles with every maxpool folded into the
+        producing bundle's tail -> exactly 5 kernels."""
         bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
         bb.eval()
-        assert len(compile_net(bb)) == 8
+        net = compile_net(bb)
+        assert len(net) == 5
+        assert sum("+maxpool" in k.label for k, _, _ in net.steps) == 3
 
     def test_unsupported_module_raises(self):
         from repro.nn.module import Module
@@ -198,6 +201,52 @@ class TestArena:
         finally:
             obs.disable()
 
+    def test_prewarm_spares_adopted_by_get(self):
+        arena = BufferArena()
+        assert arena.prewarm([(4, 8)]) == 4 * 8 * 4
+        assert arena.nbytes() == 128  # spare counted before first get
+        buf = arena.get("k", "out", (4, 8), np.float32)
+        assert arena.nbytes() == 128  # adopted, not re-allocated
+        assert len(arena) == 1
+        assert arena.get("k", "out", (4, 8), np.float32) is buf  # hit
+
+    def test_prewarm_zero_request_rezeroes_dirty_spare(self):
+        arena = BufferArena()
+        arena.prewarm([((3,), np.float32)])
+        # dirty the spare through a non-zero adoption, then return it
+        # via clear and prewarm again with known garbage
+        spare = arena._spares[((3,), np.dtype(np.float32))][0]
+        spare[:] = 5.0
+        buf = arena.get("k", "pad", (3,), np.float32, zero=True)
+        assert buf is spare
+        assert not buf.any()
+
+    def test_compiled_net_warmup_allocates_steady_state(self, rng):
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        nbytes = net.warmup((2, 3, 16, 32))
+        assert nbytes > 0
+        assert nbytes == net.arena.nbytes()
+        misses = net.arena.misses
+        x = rng.normal(0, 1, (2, 3, 16, 32)).astype(np.float32)
+        net(x)
+        assert net.arena.misses == misses  # steady state: all hits
+
+    def test_warmup_publishes_pooled_bytes_gauge(self, rng):
+        from repro import obs
+
+        bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
+        bb.eval()
+        net = compile_net(bb)
+        rec = obs.enable()
+        try:
+            net.warmup((1, 3, 16, 32))
+            gauge = rec.metrics.gauge("engine/arena/pooled_bytes")
+            assert gauge.value == net.arena.nbytes() > 0
+        finally:
+            obs.disable()
+
     def test_clone_for_thread_shares_plan_not_arena(self, rng):
         bb = SkyNetBackbone("A", width_mult=0.25, rng=rng)
         bb.eval()
@@ -260,6 +309,78 @@ class TestEnginePools:
         ref = F.avg_pool2d(Tensor(x), kernel, stride).data
         out = AvgPoolKernel("k", kernel, stride).run([x], BufferArena())
         np.testing.assert_allclose(out, ref, atol=1e-6)
+
+
+class TestBatchedExecution:
+    """PR 7: batched im2col GEMM, strip-fused bundles, intra-op tiling.
+
+    Every fast path must reproduce the per-sample engine outputs at
+    1e-6 — batching is a performance transform, never a numerics one.
+    """
+
+    def _net_and_ref(self, rng, hw=(16, 32), config="B"):
+        bb = SkyNetBackbone(config, width_mult=0.25, rng=rng)
+        _randomize_bn_stats(bb, rng)
+        bb.eval()
+        net = compile_net(bb)
+        x = rng.normal(0, 1, (8, 3) + hw).astype(np.float32)
+        singles = np.concatenate([net(x[i:i + 1]) for i in range(len(x))])
+        return net, x, singles
+
+    def test_batched_rows_match_single_runs(self, rng):
+        net, x, singles = self._net_and_ref(rng)
+        np.testing.assert_allclose(net(x), singles, atol=1e-6)
+
+    def test_strip_fused_bundles_match(self, rng, monkeypatch):
+        from repro.nn.engine.kernels import FusedBundleKernel
+
+        # Tiny thresholds force the halo-strip path at test-size inputs.
+        monkeypatch.setattr(FusedBundleKernel, "STRIP_TARGET_BYTES", 1 << 12)
+        monkeypatch.setattr(FusedBundleKernel, "STRIP_MIN_BYTES", 1)
+        net, x, singles = self._net_and_ref(rng)
+        np.testing.assert_allclose(net(x), singles, atol=1e-6)
+
+    def test_strip_path_odd_height_falls_back(self, rng, monkeypatch):
+        from repro.nn.engine.kernels import FusedBundleKernel
+
+        monkeypatch.setattr(FusedBundleKernel, "STRIP_TARGET_BYTES", 1 << 12)
+        monkeypatch.setattr(FusedBundleKernel, "STRIP_MIN_BYTES", 1)
+        # Odd spatial size: pooled bundles must fall back (pool halo
+        # would straddle strips), unpooled ones may still strip.
+        net, x, singles = self._net_and_ref(rng, hw=(18, 34))
+        np.testing.assert_allclose(net(x), singles, atol=1e-6)
+
+    def test_intra_op_tiling_matches_serial(self, rng, monkeypatch):
+        from repro.nn.engine import threads
+
+        monkeypatch.setattr(threads, "_MIN_MACS_PER_THREAD", 1)
+        net, x, singles = self._net_and_ref(rng)
+        prev = threads.get_intra_op_threads()
+        threads.set_intra_op_threads(3)
+        try:
+            np.testing.assert_allclose(net(x), singles, atol=1e-6)
+        finally:
+            threads.set_intra_op_threads(prev)
+
+    def test_intra_op_matmul_2d_and_stacked(self, rng, monkeypatch):
+        from repro.nn.engine import threads
+
+        monkeypatch.setattr(threads, "_MIN_MACS_PER_THREAD", 1)
+        prev = threads.get_intra_op_threads()
+        threads.set_intra_op_threads(4)
+        try:
+            a = rng.normal(0, 1, (13, 21)).astype(np.float32)
+            b = rng.normal(0, 1, (21, 37)).astype(np.float32)
+            out = np.empty((13, 37), np.float32)
+            threads.intra_op_matmul(a, b, out)
+            np.testing.assert_allclose(out, a @ b, atol=1e-6)
+            sa = rng.normal(0, 1, (5, 4, 9)).astype(np.float32)
+            sb = rng.normal(0, 1, (5, 9, 7)).astype(np.float32)
+            sout = np.empty((5, 4, 7), np.float32)
+            threads.intra_op_matmul(sa, sb, sout)
+            np.testing.assert_allclose(sout, sa @ sb, atol=1e-6)
+        finally:
+            threads.set_intra_op_threads(prev)
 
 
 class TestThreadedPipeline:

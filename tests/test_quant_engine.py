@@ -206,12 +206,12 @@ class TestCalibration:
 # --------------------------------------------------------------------- #
 class TestMaxpoolFusion:
     def test_pools_fused_into_bundles(self, rng):
-        """SkyNet-A fp32 plan is 5 bundles + 3 pools = 8 kernels; the
+        """SkyNet-A fp32 plan fuses pools into bundles (5 kernels); the
         quantized plan folds every pool into the producing bundle's
         requantize tail: quantize + 5 bundles + dequantize = 7."""
         bb = _backbone(rng)
         x = _images(rng, 1)
-        assert len(compile_net(bb)) == 8
+        assert len(compile_net(bb)) == 5
         qnet = compile_net(bb, quant=QuantConfig(8, 8), calibration=x)
         assert len(qnet) == 7
         assert "+maxpool2/s2" in qnet.summary()

@@ -116,6 +116,23 @@ class TestBatching:
         assert result.status == STATUS_OK
         assert result.batch_size == 1
 
+    def test_lone_request_flushes_before_wait_window(self):
+        """PR 7: a request that is alone in the system must not sit out
+        ``max_wait_ms`` hoping for batchmates — the batcher flushes as
+        soon as the queue is empty and no other worker holds a batch."""
+        config = ServeConfig(max_batch_size=64, max_wait_ms=500.0,
+                             num_workers=2)
+        with InferenceServer(_echo_runner_factory, config) as server:
+            for _ in range(3):
+                t0 = time.perf_counter()
+                result = server.submit(
+                    np.zeros((1, 4, 4), np.float32)).result(timeout=5.0)
+                elapsed = time.perf_counter() - t0
+                assert result.status == STATUS_OK
+                assert result.batch_size == 1
+                # Far below the 500 ms window (generous CI margin).
+                assert elapsed < 0.25, f"lone request waited {elapsed:.3f}s"
+
     def test_deadline_expiry_returns_timeout_not_hang(self):
         """Requests queued past their deadline resolve 504, promptly."""
         config = ServeConfig(max_batch_size=1, max_wait_ms=0.0,
@@ -276,6 +293,22 @@ class TestSession:
         assert max(r.batch_size for r in results) > 1  # actually batched
         for got, want in zip(results, expected):
             np.testing.assert_allclose(got.value, want, atol=1e-6)
+
+    def test_load_warmup_preallocates_and_publishes_gauge(self, rng):
+        det = _tiny_detector(rng)
+        with obs.recording() as rec:
+            session = Session.load(det, warmup=(3, 16, 32))
+            gauge = rec.metrics.gauge("engine/arena/pooled_bytes")
+            assert gauge.value > 0
+        # Steady state after warmup: same-shape run allocates nothing.
+        arena = session._forward.arena
+        misses = arena.misses
+        session.run(_images(rng, 1)[0])
+        assert arena.misses == misses
+
+    def test_load_warmup_validates_shape(self, rng):
+        with pytest.raises(ValueError):
+            Session.load(_tiny_detector(rng), warmup=(16, 32))
 
     def test_microbatch_tiling_matches_untiled(self, rng):
         det = _tiny_detector(rng)
@@ -493,6 +526,9 @@ class TestCli:
         assert infer.max_wait_ms == serve.max_wait_ms == 1.5
         assert infer.retries == serve.retries == 1
         assert serve.breaker_threshold == 5
+        assert infer.worker_backend == serve.worker_backend == "thread"
+        proc = parser.parse_args(["serve", "--worker-backend", "process"])
+        assert proc.worker_backend == "process"
 
     def test_serve_smoke_via_cli(self, capsys):
         from repro.cli import main

@@ -453,6 +453,39 @@ class TestPerfGate:
         assert by(tight)["quant/min_ratio"]["regressed"]
         assert not by(loose)["quant/min_ratio"]["regressed"]
 
+    def _write_serve_baseline(self, root, speedup_vs_serial, host_cpus):
+        (root / "BENCH_serve.json").write_text(json.dumps({
+            "input_hw": [160, 320], "width_mult": 0.25,
+            "host_cpus": host_cpus,
+            "results": {
+                "speedup_batch8": 2.0,
+                "process": {"speedup_vs_serial": speedup_vs_serial},
+            },
+        }))
+
+    def test_abs_floor_fails_process_speedup_below_1x(self, tmp_path):
+        """PR 7 gate: on a multi-core host the recorded process-backend
+        speedup over the serial loop must be >= 1.0x, loudly."""
+        self._write_serve_baseline(tmp_path, 0.8, host_cpus=4)
+        verdicts = {v["metric"]: v for v in compare_metrics(
+            load_baselines(str(tmp_path)), fresh={})}
+        v = verdicts["serve/speedup_vs_serial"]
+        assert v["regressed"] and v["below_abs_floor"]
+        assert v["abs_floor"] == 1.0
+
+    def test_abs_floor_waived_on_single_core_host(self, tmp_path):
+        self._write_serve_baseline(tmp_path, 0.8, host_cpus=1)
+        verdicts = {v["metric"]: v for v in compare_metrics(
+            load_baselines(str(tmp_path)), fresh={})}
+        assert not verdicts["serve/speedup_vs_serial"]["regressed"]
+
+    def test_abs_floor_passes_above_1x(self, tmp_path):
+        self._write_serve_baseline(tmp_path, 1.4, host_cpus=4)
+        verdicts = {v["metric"]: v for v in compare_metrics(
+            load_baselines(str(tmp_path)), fresh={})}
+        v = verdicts["serve/speedup_vs_serial"]
+        assert not v["regressed"] and "below_abs_floor" not in v
+
     def test_run_gate_end_to_end(self, tmp_path, capsys):
         """Real measurement at a tiny scale: a clean rerun passes, an
         injected 100x regression trips the gate with exit 1."""
