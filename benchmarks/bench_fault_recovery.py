@@ -15,6 +15,11 @@ not peak throughput but what survives faults.  Two measurements:
   once the primary heals, the half-open probe re-closes it.  Measured:
   the wall time from healing the primary to the breaker reporting
   ``closed`` under a steady probe load.
+* **Process-backend crash recovery** — the same zero-lost contract for
+  ``worker_backend="process"``: the ``serve.procworker`` fault site
+  SIGKILLs real child processes from the parent hot path, and the
+  ProcWorkerDied -> retry -> respawn ladder must resolve every
+  accepted request OK.
 
 Run as a script to (re)write ``BENCH_resilience.json`` at the repo
 root:
@@ -162,6 +167,40 @@ def measure_breaker_recovery(reps: int = BREAKER_REPS) -> dict:
     }
 
 
+def measure_procworker_crash(requests: int = 48) -> dict:
+    """Zero-lost contract for the process-pool backend under injected
+    child SIGKILLs (a real model: spawn must pickle + re-import it)."""
+    from repro.core import SkyNetBackbone
+    from repro.detection import Detector
+    from repro.runtime import Session
+
+    rng = np.random.default_rng(0)
+    det = Detector(SkyNetBackbone("C", width_mult=0.125, rng=rng))
+    det.eval()
+    frames = [rng.normal(0, 1, (3, 16, 32)).astype(np.float32)
+              for _ in range(requests)]
+    serve = ServeConfig(queue_depth=64, max_batch_size=4, max_wait_ms=1.0,
+                        num_workers=1, worker_backend="process",
+                        max_retries=2)
+    plan = FaultPlan([FaultSpec("serve.procworker", "crash",
+                                rate=0.05, times=3)], seed=0)
+    t0 = time.perf_counter()
+    with Session.load(det, serve=serve) as session, faults.inject(plan):
+        futures = [session.submit(f) for f in frames]
+        ok = sum(1 for f in futures if f.result(timeout=120.0).ok)
+        respawns = session._procpool.respawns
+        fallback = session.server.stats.snapshot()["fallback_batches"]
+    return {
+        "requests": requests,
+        "ok": ok,
+        "lost_requests": requests - ok,
+        "crashes_injected": plan.fired("serve.procworker"),
+        "respawns": respawns,
+        "fallback_batches": fallback,
+        "wall_s": time.perf_counter() - t0,
+    }
+
+
 def run_bench() -> dict:
     # The injected WorkerCrash escapes its thread by design; keep the
     # default excepthook from spamming the bench output with tracebacks.
@@ -175,9 +214,10 @@ def run_bench() -> dict:
     try:
         crash = measure_crash_throughput()
         breaker = measure_breaker_recovery()
+        procworker = measure_procworker_crash()
     finally:
         threading.excepthook = prev_hook
-    return {"crash": crash, "breaker": breaker}
+    return {"crash": crash, "breaker": breaker, "procworker": procworker}
 
 
 def _print(results: dict) -> None:
@@ -199,6 +239,11 @@ def _print(results: dict) -> None:
           f"best {breaker['recovery_ms_best']:.1f} ms, "
           f"mean {breaker['recovery_ms_mean']:.1f} ms "
           f"(cooldown {breaker['cooldown_ms']:.0f} ms)")
+    proc = results["procworker"]
+    print(f"process backend under {proc['crashes_injected']} child "
+          f"SIGKILLs: {proc['ok']}/{proc['requests']} ok, "
+          f"{proc['lost_requests']} lost, {proc['respawns']} respawns, "
+          f"{proc['fallback_batches']} fallback batches")
 
 
 def test_fault_recovery(benchmark):
@@ -210,6 +255,12 @@ def test_fault_recovery(benchmark):
     assert results["crash"]["lost_requests"] == 0
     assert results["crash"]["throughput_ratio"] >= 0.5
     assert results["breaker"]["recovery_ms_best"] >= 0.0
+    # Process backend: every accepted request survives child SIGKILLs,
+    # served by real (respawned) children — never the eager fallback.
+    assert results["procworker"]["lost_requests"] == 0
+    assert results["procworker"]["crashes_injected"] >= 1
+    assert results["procworker"]["respawns"] >= 1
+    assert results["procworker"]["fallback_batches"] == 0
 
 
 if __name__ == "__main__":
@@ -231,7 +282,12 @@ if __name__ == "__main__":
             "requests that did not resolve ok across all faulted reps "
             "(must be 0).  Breaker recovery = wall time from healing "
             "the primary runner to the circuit breaker re-closing via "
-            "its half-open probe, under a steady probe load."
+            "its half-open probe, under a steady probe load.  "
+            "procworker = the same zero-lost contract for "
+            "worker_backend='process': the serve.procworker fault site "
+            "SIGKILLs real child processes from the parent hot path; "
+            "ProcWorkerDied -> retry -> respawn must resolve every "
+            "accepted request OK with zero fallback batches."
         ),
         "results": measured,
     }

@@ -9,6 +9,8 @@ Subcommands cover the library's main workflows without writing code:
 * ``score``    — recompute the DAC-SDC'19 score tables (Eqs. 2-5).
 * ``infer``    — timed batch inference via the eager or compiled engine.
 * ``serve``    — dynamic-batching inference server under synthetic load.
+* ``stream``   — N synthetic camera streams on one engine pool with
+  drop-oldest backpressure, brownout, and event push.
 * ``bench``    — perf-regression gate vs the checked-in BENCH baselines.
 * ``dataset``  — generate and save a synthetic dataset archive.
 * ``obs``      — render a JSONL trace written by ``--trace``.
@@ -194,6 +196,40 @@ def build_parser() -> argparse.ArgumentParser:
              "synthetic concurrent load (alias of `infer --serve`)",
     )
     _add_infer_options(p, serve=True)
+
+    p = sub.add_parser(
+        "stream",
+        help="run N synthetic camera streams against one shared engine "
+             "pool: drop-oldest backpressure, overload brownout, "
+             "supervised stream workers, JSONL event push",
+    )
+    p.add_argument("--streams", type=int, default=4,
+                   help="concurrent synthetic streams")
+    p.add_argument("--frames", type=int, default=64,
+                   help="frames per stream")
+    p.add_argument("--config", default="C", choices=["A", "B", "C"],
+                   help="SkyNet config of the shared detector")
+    p.add_argument("--width", type=float, default=0.25,
+                   help="width multiplier of the shared detector")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="engine pool: dynamic batcher flush size")
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine pool worker threads")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="per-stream frame queue bound (drop-oldest)")
+    p.add_argument("--fps", type=float, default=0.0,
+                   help="pace each camera at this frame rate "
+                        "(0 = as fast as possible)")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="publish detection/track events to this JSONL "
+                        "file (the MQTT stand-in)")
+    p.add_argument("--chaos", action="store_true",
+                   help="arm seeded faults: 1%% sink stalls plus one "
+                        "stream-worker crash, proving supervised "
+                        "recovery and exact frame accounting")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record spans/metrics to a JSONL trace file")
 
     p = sub.add_parser(
         "bench",
@@ -579,6 +615,100 @@ def _cmd_infer(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import threading
+    import time
+    from contextlib import nullcontext
+
+    from .core import SkyNetBackbone
+    from .detection import Detector
+    from .resilience import faults
+    from .runtime import ServeConfig, Session, SessionConfig, StreamConfig
+    from .serve import JsonlSink, SyntheticSource
+    from .utils import format_table
+
+    detector = Detector(SkyNetBackbone(
+        args.config, width_mult=args.width,
+        rng=np.random.default_rng(args.seed),
+    ))
+    detector.eval()
+    interval_ms = 1e3 / args.fps if args.fps > 0 else 0.0
+    sources = [
+        SyntheticSource(frames=args.frames, image_hw=(32, 64),
+                        seed=args.seed + i, interval_ms=interval_ms)
+        for i in range(args.streams)
+    ]
+    sink = JsonlSink(args.events) if args.events else None
+    serve_cfg = ServeConfig(max_batch_size=args.batch_size,
+                            num_workers=args.workers)
+    stream_cfg = StreamConfig(queue_depth=args.queue_depth)
+    plan = None
+    prev_hook = threading.excepthook
+    if args.chaos:
+        plan = faults.FaultPlan([
+            faults.FaultSpec("stream.sink", "stall", rate=0.01,
+                             times=None, delay_s=0.02),
+            faults.FaultSpec("stream.worker", "crash", after=5, times=1),
+        ], seed=args.seed)
+
+        # Injected crashes escape their threads by design; keep the
+        # default excepthook from spamming the run with tracebacks.
+        def quiet_hook(hook_args):
+            if not issubclass(hook_args.exc_type, faults.InjectedFault):
+                prev_hook(hook_args)
+
+        threading.excepthook = quiet_hook
+
+    try:
+        with _maybe_recording(args.trace), \
+                Session.load(detector, SessionConfig(),
+                             serve=serve_cfg) as session:
+            t0 = time.perf_counter()
+            with (faults.inject(plan) if plan else nullcontext()):
+                manager = session.open_streams(sources, sink=sink,
+                                               config=stream_cfg)
+                done = manager.join(timeout=max(60.0, args.frames * 2.0))
+            wall = time.perf_counter() - t0
+            health = manager.health()
+            manager.stop()
+    finally:
+        threading.excepthook = prev_hook
+    if args.trace:
+        print(f"trace written to {args.trace}")
+
+    rows = []
+    for snap in health["streams"]:
+        rows.append([
+            snap["stream"], snap["accepted"], snap["processed"],
+            snap["dropped_by_policy"], snap["worker_restarts"],
+            snap["sink_events"], f"{snap['put_block_ms_max']:.3f}",
+        ])
+    print(format_table(
+        ["stream", "accepted", "processed", "dropped", "restarts",
+         "events", "max put ms"], rows,
+        title=f"{args.streams} streams x {args.frames} frames in "
+              f"{wall:.1f} s",
+    ))
+    acct = health["accounting"]
+    brownout = (manager.controller.max_level_seen
+                if manager.controller is not None else 0)
+    print(f"accounting {'exact' if acct['exact'] else 'INCONSISTENT'}: "
+          f"accepted {acct['accepted']} = processed {acct['processed']} "
+          f"+ dropped {acct['dropped_by_policy']} "
+          f"(drop ratio {acct['drop_ratio']:.3f})")
+    print(f"brownout: level {health['brownout_level']} now, "
+          f"peak {brownout}")
+    if plan is not None:
+        print(f"chaos: {plan.fired()} faults fired "
+              f"({plan.fired('stream.sink')} sink stalls, "
+              f"{plan.fired('stream.worker')} worker crashes)")
+    if args.events:
+        print(f"events written to {args.events}")
+    status = "ok" if (done and acct["exact"]) else "FAILED"
+    print(f"stream health {status}")
+    return 0 if status == "ok" else 1
+
+
 def _cmd_bench(args) -> int:
     from .obs.bench import run_gate
 
@@ -656,6 +786,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "infer": _cmd_infer,
     "serve": _cmd_infer,
+    "stream": _cmd_stream,
     "bench": _cmd_bench,
     "dataset": _cmd_dataset,
     "obs": _cmd_obs,

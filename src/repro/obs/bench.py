@@ -78,6 +78,19 @@ GATE_METRICS = (
     GateMetric("serve/speedup_vs_serial", "BENCH_serve.json",
                ("results", "process", "speedup_vs_serial"), tolerance=0.40,
                measured=False, abs_floor=1.0),
+    # Streaming contracts (bench_stream.py): frame conservation must be
+    # exact, no producer may block past the per-put budget, and the
+    # overload arm must shed via drop-oldest.  These are invariants of
+    # the code, not host speed, so they gate even on 1-core hosts.
+    GateMetric("stream/accounted_ratio", "BENCH_stream.json",
+               ("results", "accounted_ratio"), tolerance=0.0,
+               measured=False, abs_floor=1.0, abs_floor_min_cpus=1),
+    GateMetric("stream/producer_block_margin", "BENCH_stream.json",
+               ("results", "producer_block_margin"), tolerance=0.5,
+               measured=False, abs_floor=1.0, abs_floor_min_cpus=1),
+    GateMetric("stream/overload_drop_ratio", "BENCH_stream.json",
+               ("results", "overload", "drop_ratio"), tolerance=0.5,
+               measured=False, abs_floor=0.02, abs_floor_min_cpus=1),
 )
 
 

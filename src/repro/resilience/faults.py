@@ -19,6 +19,22 @@ site                      kinds
                           (corrupt the batch output)
 ``serve.worker``          ``crash`` (kill the worker thread itself,
                           exercising the watchdog respawn + requeue)
+``serve.procworker``      ``crash`` (SIGKILL the process-pool child
+                          from the parent hot path, exercising the
+                          ProcWorkerDied retry + respawn ladder),
+                          ``stall`` (sleep ``delay_s`` before the
+                          round-trip)
+``stream.source``         ``crash`` (kill a stream's producer thread,
+                          exercising the supervisor restart),
+                          ``stall`` (slow the camera)
+``stream.queue``          ``crash`` (raise inside ``FrameQueue.put``),
+                          ``stall`` (delay the accept path)
+``stream.worker``         ``crash`` (kill a stream worker holding a
+                          frame, exercising requeue + tracker
+                          re-attach), ``stall``
+``stream.sink``           ``crash`` (fail the event publish — costs
+                          the event, never the frame), ``stall``
+                          (a slow consumer, driving backpressure)
 ``arena.alloc``           ``alloc`` (``MemoryError`` on a
                           :class:`~repro.nn.engine.BufferArena` miss)
 ``checkpoint.write``      ``truncate``/``bitflip`` (corrupt the file

@@ -19,8 +19,8 @@ Quick start::
     print(future.result(timeout=1.0).value)
 """
 
-from .config import BACKENDS, ServeConfig, SessionConfig
+from .config import BACKENDS, ServeConfig, SessionConfig, StreamConfig
 from .session import Session, eager_forced, eager_inference
 
 __all__ = ["BACKENDS", "ServeConfig", "Session", "SessionConfig",
-           "eager_forced", "eager_inference"]
+           "StreamConfig", "eager_forced", "eager_inference"]

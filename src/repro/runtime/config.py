@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["BACKENDS", "ServeConfig", "SessionConfig"]
+__all__ = ["BACKENDS", "ServeConfig", "SessionConfig", "StreamConfig"]
 
 #: Valid ``SessionConfig.backend`` values: the compiled inference engine
 #: (:mod:`repro.nn.engine`), its integer-domain quantized mode, or the
@@ -181,3 +181,82 @@ class ServeConfig:
             raise ValueError("breaker_cooldown_ms must be positive")
         if self.watchdog_interval_ms <= 0:
             raise ValueError("watchdog_interval_ms must be positive")
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Per-stream policy of a :class:`~repro.serve.StreamManager`.
+
+    Parameters
+    ----------
+    queue_depth:
+        Bound on each stream's frame queue.  A full queue evicts its
+        *oldest* frame (drop-oldest backpressure) — the producer is
+        never blocked, and the evicted frame is accounted
+        ``dropped_backpressure``.
+    deadline_ms:
+        Per-frame deadline passed to the engine pool's ``submit``
+        (``None`` = the pool's default).
+    result_timeout_s:
+        How long a stream worker waits on a submitted frame's future
+        before accounting it ``dropped_rejected`` and moving on.
+    track_iou:
+        IoU gate for the sticky per-stream tracker: a detection within
+        this IoU of the current track continues it, anything else
+        starts a new track id.
+    track_smooth:
+        EMA weight of the *old* box when a track continues
+        (``0`` = take each detection verbatim).
+    brownout:
+        Run the hysteretic overload controller (see
+        :class:`~repro.serve.BrownoutController`).
+    pressure_high / pressure_low:
+        Queue-fullness thresholds: ``escalate_ticks`` consecutive
+        supervisor samples at/above ``pressure_high`` climb one
+        brownout rung; ``recover_ticks`` at/below ``pressure_low``
+        descend one.  The dead band between them holds the rung.
+    brownout_stride:
+        Frame stride at the deepest rung: process every
+        ``brownout_stride``-th frame, drop the rest by policy.
+    supervisor_interval_ms:
+        Supervisor tick (watchdog restarts + brownout sampling +
+        per-stream gauges).
+    restart_workers:
+        Restart crashed stream producer/worker threads (off only in
+        tests that inspect a corpse).
+    """
+
+    queue_depth: int = 8
+    deadline_ms: float | None = None
+    result_timeout_s: float = 30.0
+    track_iou: float = 0.3
+    track_smooth: float = 0.6
+    brownout: bool = True
+    pressure_high: float = 0.75
+    pressure_low: float = 0.25
+    escalate_ticks: int = 3
+    recover_ticks: int = 5
+    brownout_stride: int = 2
+    supervisor_interval_ms: float = 10.0
+    restart_workers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.result_timeout_s <= 0:
+            raise ValueError("result_timeout_s must be positive")
+        if not 0.0 < self.track_iou < 1.0:
+            raise ValueError("track_iou must be in (0, 1)")
+        if not 0.0 <= self.track_smooth < 1.0:
+            raise ValueError("track_smooth must be in [0, 1)")
+        if not 0.0 <= self.pressure_low < self.pressure_high <= 1.0:
+            raise ValueError(
+                "need 0 <= pressure_low < pressure_high <= 1")
+        if self.escalate_ticks < 1 or self.recover_ticks < 1:
+            raise ValueError("escalate/recover ticks must be >= 1")
+        if self.brownout_stride < 2:
+            raise ValueError("brownout_stride must be >= 2")
+        if self.supervisor_interval_ms <= 0:
+            raise ValueError("supervisor_interval_ms must be positive")

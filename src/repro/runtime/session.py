@@ -104,6 +104,7 @@ class Session:
         self._calibration = None
         self._warmup_shape: tuple[int, ...] | None = None
         self._procpool = None
+        self._streams: list = []
 
     # ------------------------------------------------------------------ #
     # construction
@@ -381,12 +382,10 @@ class Session:
         behind :meth:`submit` (``None`` until the first submit)."""
         return self._server
 
-    def submit(self, image: np.ndarray, deadline_ms: float | None = None):
-        """Queue one image on the dynamic-batching server; returns a
-        :class:`concurrent.futures.Future` resolving to a
-        :class:`~repro.serve.ServeResult`.  Never blocks: a full queue
-        sheds the request with an immediate 503-style result.
-        """
+    def ensure_server(self):
+        """Start (or return) the dynamic-batching server behind
+        :meth:`submit` — the shared engine pool that per-stream
+        sessions attach to."""
         if self._server is None:
             with self._server_lock:
                 if self._server is None:
@@ -403,7 +402,31 @@ class Session:
                         factory, self._serve_config,
                         name=self.name, fallback_factory=fallback,
                     )
-        return self._server.submit(image, deadline_ms=deadline_ms)
+        return self._server
+
+    def submit(self, image: np.ndarray, deadline_ms: float | None = None):
+        """Queue one image on the dynamic-batching server; returns a
+        :class:`concurrent.futures.Future` resolving to a
+        :class:`~repro.serve.ServeResult`.  Never blocks: a full queue
+        sheds the request with an immediate 503-style result.
+        """
+        return self.ensure_server().submit(image, deadline_ms=deadline_ms)
+
+    def open_streams(self, sources, sink=None, config=None, ids=None):
+        """Attach N per-stream sessions to this session's engine pool.
+
+        Builds (and starts) a :class:`~repro.serve.StreamManager` whose
+        streams share this session's dynamic-batching server; the
+        manager is owned by the session, so :meth:`close` stops it.
+        See :mod:`repro.serve.stream` for sources, sinks, and the
+        overload-brownout policy.
+        """
+        from ..serve.stream import StreamManager
+
+        manager = StreamManager(self, sources, sink=sink, config=config,
+                                ids=ids, name=self.name)
+        self._streams.append(manager)
+        return manager.start()
 
     def _process_pool(self):
         """Build the worker-process pool for the ``"process"`` backend."""
@@ -436,6 +459,8 @@ class Session:
     def close(self) -> None:
         """Stop the serving threads and any worker processes
         (idempotent); ``run`` keeps working."""
+        for manager in self._streams:
+            manager.stop()
         if self._server is not None:
             self._server.stop()
         if self._procpool is not None:

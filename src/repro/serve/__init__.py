@@ -25,9 +25,28 @@ from .result import (
     ServeResult,
 )
 from .server import InferenceServer, ServerStats
+from .stream import (
+    BrownoutController,
+    CallbackSink,
+    EventSink,
+    FrameQueue,
+    JsonlSink,
+    NullSink,
+    Stream,
+    StreamManager,
+    StreamStats,
+    SyntheticSource,
+    TrackState,
+)
 
 __all__ = [
+    "BrownoutController",
+    "CallbackSink",
+    "EventSink",
+    "FrameQueue",
     "InferenceServer",
+    "JsonlSink",
+    "NullSink",
     "ProcessPool",
     "ProcWorkerDied",
     "ProcWorkerError",
@@ -38,5 +57,10 @@ __all__ = [
     "STATUS_SHED",
     "STATUS_SHUTDOWN",
     "STATUS_TIMEOUT",
+    "Stream",
+    "StreamManager",
+    "StreamStats",
+    "SyntheticSource",
+    "TrackState",
     "WorkerSpec",
 ]

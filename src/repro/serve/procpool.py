@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -46,6 +47,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from .. import obs
+from ..resilience import faults
 
 __all__ = [
     "ProcessPool",
@@ -261,6 +263,16 @@ class _ProcWorker:
                 f"died mid-request") from exc
 
     def run(self, x: np.ndarray) -> np.ndarray:
+        # Parent-side fault site: plans armed in this process cannot
+        # reach into the spawned child, so "crash" SIGKILLs the real
+        # child instead — the pipe EOF then drives the genuine
+        # ProcWorkerDied -> retry -> respawn path, not a simulation.
+        spec = faults.trigger("serve.procworker")
+        if spec is not None and spec.kind == "crash" and self.alive:
+            os.kill(self.pid, signal.SIGKILL)
+            self._proc.join(timeout=5.0)
+        elif spec is not None and spec.kind == "stall":
+            time.sleep(spec.delay_s)
         if not self.alive:
             raise ProcWorkerDied(
                 f"worker process {self.index} is not alive")

@@ -225,6 +225,9 @@ class InferenceServer:
         self._queue: queue.Queue[_Request] = queue.Queue(
             maxsize=self.config.queue_depth
         )
+        #: Runtime override of ``config.max_batch_size`` (overload
+        #: brownout shrinks batches without rebuilding the server).
+        self._batch_cap: int | None = None
         self._stopping = threading.Event()
         self._inflight: list[list[_Request] | None] = (
             [None] * self.config.num_workers
@@ -286,6 +289,23 @@ class InferenceServer:
         obs.inc("serve/requests")
         obs.set_gauge("serve/queue_depth", self._queue.qsize())
         return future
+
+    def set_batch_cap(self, cap: int | None) -> None:
+        """Cap dynamic batches below ``config.max_batch_size`` at
+        runtime (``None`` restores the configured limit).
+
+        Used by the streaming brownout ladder: smaller batches cut
+        per-batch latency and arena footprint under overload, without
+        touching queued requests or restarting workers.  Takes effect
+        on the next coalesce; batches already filled are unaffected.
+        """
+        if cap is not None and cap < 1:
+            raise ValueError("batch cap must be >= 1 or None")
+        self._batch_cap = cap
+        obs.set_gauge(
+            "serve/batch_cap",
+            self.config.max_batch_size if cap is None else cap,
+        )
 
     def health(self) -> dict:
         """Readiness snapshot: worker liveness, queue, breaker, stats.
@@ -434,8 +454,11 @@ class InferenceServer:
         batch size 1 at ``max_wait_ms`` extra latency (the
         ``concurrency1`` closed-loop penalty)."""
         batch = [first]
+        cap = self._batch_cap
+        limit = (self.config.max_batch_size if cap is None
+                 else min(cap, self.config.max_batch_size))
         flush_at = time.perf_counter() + self.config.max_wait_ms / 1e3
-        while len(batch) < self.config.max_batch_size:
+        while len(batch) < limit:
             try:
                 batch.append(self._queue.get_nowait())
                 continue

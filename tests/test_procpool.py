@@ -18,6 +18,7 @@ import pytest
 
 from repro.core import SkyNetBackbone
 from repro.detection import Detector
+from repro.resilience import faults
 from repro.runtime import ServeConfig, Session, SessionConfig
 from repro.serve import (
     STATUS_OK,
@@ -171,6 +172,34 @@ class TestProcessBackendServing:
                 np.testing.assert_allclose(r.value, ref, atol=1e-6)
             assert pool.respawns >= 1
             assert session.health()["procpool"]["spawned"] >= 2
+
+    def test_injected_procworker_crash_loses_no_accepted_request(self, rng):
+        """The `serve.procworker` fault site SIGKILLs the real child
+        from the parent hot path; the retry ladder + respawn must
+        resolve every accepted request OK — zero lost."""
+        det = _tiny_detector(rng)
+        frames = [f for f in _images(rng, 10)]
+        serve = ServeConfig(queue_depth=64, max_batch_size=2,
+                            max_wait_ms=1.0, num_workers=1,
+                            worker_backend="process", max_retries=2)
+        with Session.load(det) as session:
+            want = [session.run(f) for f in frames]
+        plan = faults.FaultPlan([
+            faults.FaultSpec("serve.procworker", "crash", after=2, times=2),
+        ], seed=0)
+        with Session.load(det, serve=serve) as session, \
+                faults.inject(plan):
+            futs = [session.submit(f) for f in frames]
+            results = [f.result(timeout=120.0) for f in futs]
+            assert plan.fired("serve.procworker") == 2
+            assert all(r.status == STATUS_OK for r in results)
+            for r, ref in zip(results, want):
+                np.testing.assert_allclose(r.value, ref, atol=1e-6)
+            pool = session._procpool
+            assert pool.respawns >= 1
+            # The children actually served every batch after recovery —
+            # the breaker's eager fallback never masked the dead pool.
+            assert session.server.stats.snapshot()["fallback_batches"] == 0
 
     def test_stop_with_inflight_resolves_everything(self, rng):
         det = _tiny_detector(rng)

@@ -133,6 +133,28 @@ class TestBatching:
                 # Far below the 500 ms window (generous CI margin).
                 assert elapsed < 0.25, f"lone request waited {elapsed:.3f}s"
 
+    def test_set_batch_cap_shrinks_then_restores_batches(self):
+        """The brownout ladder's rung 1: a runtime cap splits what
+        would be one full batch, and clearing it restores the
+        configured limit."""
+        config = ServeConfig(max_batch_size=4, max_wait_ms=5_000.0)
+        with InferenceServer(_slow_runner_factory(0.05), config) as server:
+            server.set_batch_cap(2)
+            futures = [server.submit(np.zeros((1, 4, 4), np.float32))
+                       for _ in range(4)]
+            results = [f.result(timeout=5.0) for f in futures]
+            assert all(r.status == STATUS_OK for r in results)
+            assert all(r.batch_size <= 2 for r in results)
+            assert server.stats.snapshot()["batches"] >= 2
+
+            server.set_batch_cap(None)  # restore: one full batch again
+            futures = [server.submit(np.zeros((1, 4, 4), np.float32))
+                       for _ in range(4)]
+            results = [f.result(timeout=5.0) for f in futures]
+            assert [r.batch_size for r in results] == [4, 4, 4, 4]
+        with pytest.raises(ValueError):
+            server.set_batch_cap(0)
+
     def test_deadline_expiry_returns_timeout_not_hang(self):
         """Requests queued past their deadline resolve 504, promptly."""
         config = ServeConfig(max_batch_size=1, max_wait_ms=0.0,

@@ -486,6 +486,41 @@ class TestPerfGate:
         v = verdicts["serve/speedup_vs_serial"]
         assert not v["regressed"] and "below_abs_floor" not in v
 
+    def _write_stream_baseline(self, root, accounted, margin, drop):
+        (root / "BENCH_stream.json").write_text(json.dumps({
+            "input_hw": [32, 64], "width": 0.125, "host_cpus": 1,
+            "results": {
+                "accounted_ratio": accounted,
+                "producer_block_margin": margin,
+                "overload": {"drop_ratio": drop},
+            },
+        }))
+
+    def test_stream_floors_enforced_even_on_one_core(self, tmp_path):
+        """ISSUE 9 gate: the streaming contracts are code invariants,
+        not host speed — they gate on a 1-core host too.  A lost frame
+        (accounted < 1), a blocked producer (margin < 1), or an
+        overload arm that never dropped (ratio < 0.02) all trip."""
+        self._write_stream_baseline(tmp_path, accounted=0.99,
+                                    margin=0.8, drop=0.0)
+        verdicts = {v["metric"]: v for v in compare_metrics(
+            load_baselines(str(tmp_path)), fresh={})}
+        for name in ("stream/accounted_ratio",
+                     "stream/producer_block_margin",
+                     "stream/overload_drop_ratio"):
+            assert verdicts[name]["below_abs_floor"], name
+
+    def test_stream_floors_pass_on_healthy_baseline(self, tmp_path):
+        self._write_stream_baseline(tmp_path, accounted=1.0,
+                                    margin=30.0, drop=0.6)
+        verdicts = {v["metric"]: v for v in compare_metrics(
+            load_baselines(str(tmp_path)), fresh={})}
+        for name in ("stream/accounted_ratio",
+                     "stream/producer_block_margin",
+                     "stream/overload_drop_ratio"):
+            v = verdicts[name]
+            assert not v["regressed"] and "below_abs_floor" not in v, name
+
     def test_run_gate_end_to_end(self, tmp_path, capsys):
         """Real measurement at a tiny scale: a clean rerun passes, an
         injected 100x regression trips the gate with exit 1."""
