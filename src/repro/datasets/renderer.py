@@ -103,14 +103,30 @@ class SceneRenderer:
     # sampling
     # ------------------------------------------------------------------ #
     def sample_object(
-        self, rng: np.random.Generator | None = None
+        self,
+        rng: np.random.Generator | None = None,
+        area_range: tuple[float, float] | None = None,
     ) -> ObjectSpec:
-        """Draw an object spec with Fig. 6-consistent size."""
+        """Draw an object spec with Fig. 6-consistent size.
+
+        ``area_range`` overrides the Fig. 6 area distribution with a
+        uniform draw from ``(lo, hi)`` — used by :meth:`render_multi` to
+        force the small-object regime tiled inference targets.
+        """
         rng = default_rng(rng)
         h_img, w_img = self.image_hw
         category = int(rng.integers(NUM_MAIN_CATEGORIES))
         subcategory = int(rng.integers(NUM_SUB_CATEGORIES))
-        area = float(sample_area_ratio(1, rng)[0])
+        if area_range is not None:
+            lo, hi = area_range
+            if not 0.0 < lo <= hi < 1.0:
+                raise ValueError(
+                    f"area_range must satisfy 0 < lo <= hi < 1, got "
+                    f"{area_range!r}"
+                )
+            area = float(rng.uniform(lo, hi))
+        else:
+            area = float(sample_area_ratio(1, rng)[0])
         aspect = float(sample_aspect_ratio(1, rng)[0])
         # area = (w*W) * (h*H) / (W*H) = w*h ; aspect = (w*W)/(h*H)
         wh_prod = area
@@ -231,3 +247,77 @@ class SceneRenderer:
                              np.clip(1.0 - local, 0.0, 1.0), color)
             img[:, mask] = 0.15 * img[:, mask] + 0.85 * color
         return np.clip(img, 0.0, 1.0).astype(np.float32), spec
+
+    def render_multi(
+        self,
+        num_objects: int,
+        rng: np.random.Generator | None = None,
+        area_range: tuple[float, float] = (0.001, 0.008),
+        max_attempts: int = 50,
+    ) -> tuple[np.ndarray, list[ObjectSpec]]:
+        """Render a small-object-heavy scene with several labeled objects.
+
+        This is the regime tiled inference exists for: Fig. 6 puts 91%
+        of DAC-SDC boxes under 9% of the frame, and the default
+        ``area_range`` sits well below even that — at 640x1280 deployment
+        scale, 0.1–0.8% of the frame is a handful of pixels after a
+        naive downscale to the detector input.
+
+        Objects are placed by rejection sampling so no two labeled boxes
+        overlap (a placement whose box intersects an accepted one is
+        re-drawn up to ``max_attempts`` times); if the frame saturates,
+        fewer than ``num_objects`` are placed — the returned spec list
+        is the ground truth either way.
+
+        Returns
+        -------
+        image:
+            (3, H, W) float32 in [0, 1].
+        specs:
+            One :class:`ObjectSpec` per placed object (its ``box`` is
+            the cxcywh label).
+        """
+        if num_objects < 1:
+            raise ValueError("num_objects must be >= 1")
+        rng = default_rng(rng)
+        img = self.render_background(rng)
+
+        def corners(s: ObjectSpec) -> tuple[float, float, float, float]:
+            return (s.cx - s.w / 2, s.cy - s.h / 2,
+                    s.cx + s.w / 2, s.cy + s.h / 2)
+
+        def disjoint(a: ObjectSpec, b: ObjectSpec) -> bool:
+            ax1, ay1, ax2, ay2 = corners(a)
+            bx1, by1, bx2, by2 = corners(b)
+            return ax2 <= bx1 or bx2 <= ax1 or ay2 <= by1 or by2 <= ay1
+
+        specs: list[ObjectSpec] = []
+        for _ in range(num_objects):
+            for _ in range(max_attempts):
+                cand = self.sample_object(rng, area_range=area_range)
+                if all(disjoint(cand, s) for s in specs):
+                    specs.append(cand)
+                    break
+
+        # unlabeled clutter stays smaller/dimmer than the smallest target
+        floor_area = min((s.w * s.h for s in specs), default=0.01)
+        for _ in range(self.clutter):
+            blob = self.sample_object(rng, area_range=area_range)
+            if blob.w * blob.h > 0.25 * floor_area + 0.002:
+                continue
+            if not all(disjoint(blob, s) for s in specs):
+                continue  # clutter must never shadow a labeled box
+            mask = self._shape_mask(blob)
+            dim = np.array(blob.color).reshape(3, 1) * 0.4 + 0.3
+            img[:, mask] = 0.5 * img[:, mask] + 0.5 * dim
+
+        for spec in specs:
+            mask = self._shape_mask(spec)
+            if not mask.any():
+                continue
+            color = np.array(spec.color, dtype=np.float64).reshape(3, 1)
+            local = img[:, mask].mean(axis=1, keepdims=True)
+            color = np.where(np.abs(color - local) < 0.3,
+                             np.clip(1.0 - local, 0.0, 1.0), color)
+            img[:, mask] = 0.15 * img[:, mask] + 0.85 * color
+        return np.clip(img, 0.0, 1.0).astype(np.float32), specs

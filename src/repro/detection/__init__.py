@@ -5,6 +5,7 @@ from .boxes import (
     box_area,
     box_iou,
     clip_boxes,
+    clip_boxes_cxcywh,
     cxcywh_to_xyxy,
     pairwise_iou,
     xyxy_to_cxcywh,
@@ -13,7 +14,13 @@ from .head import YoloHead, best_box, decode_grid
 from .loss import YoloLoss
 from .metrics import evaluate_detector, iou_per_image, mean_iou
 from .model import Detector
-from .postprocess import Detection, decode_detections, nms
+from .postprocess import (
+    DEFAULT_MAX_DETECTIONS,
+    Detection,
+    decode_detections,
+    nms,
+)
+from .tiling import FrameTiler, TilePlan, top_boxes, unpack_detections
 from .visualize import ascii_scene, draw_box, draw_detections
 from .trainer import DetectionTrainer, TrainConfig, TrainResult
 
@@ -24,6 +31,7 @@ __all__ = [
     "box_area",
     "box_iou",
     "clip_boxes",
+    "clip_boxes_cxcywh",
     "cxcywh_to_xyxy",
     "pairwise_iou",
     "xyxy_to_cxcywh",
@@ -35,9 +43,14 @@ __all__ = [
     "iou_per_image",
     "mean_iou",
     "Detector",
+    "DEFAULT_MAX_DETECTIONS",
     "Detection",
     "decode_detections",
     "nms",
+    "FrameTiler",
+    "TilePlan",
+    "top_boxes",
+    "unpack_detections",
     "draw_box",
     "draw_detections",
     "ascii_scene",

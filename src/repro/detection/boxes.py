@@ -20,6 +20,7 @@ __all__ = [
     "box_iou",
     "pairwise_iou",
     "clip_boxes",
+    "clip_boxes_cxcywh",
 ]
 
 
@@ -73,6 +74,65 @@ def pairwise_iou(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return box_iou(a[:, None, :], b[None, :, :])
 
 
-def clip_boxes(boxes: np.ndarray, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
-    """Clamp xyxy boxes to the image frame."""
-    return np.clip(np.asarray(boxes, dtype=np.float64), lo, hi)
+def _axis_bounds(value, name: str) -> tuple[float, float]:
+    """Normalize a scalar or ``(x, y)`` bound into a per-axis pair."""
+    arr = np.asarray(value, dtype=np.float64).ravel()
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    if arr.size == 2:
+        return float(arr[0]), float(arr[1])
+    raise ValueError(
+        f"{name} must be a scalar or an (x, y) pair, got {value!r}"
+    )
+
+
+def clip_boxes(
+    boxes_xyxy: np.ndarray,
+    lo: float | tuple[float, float] = 0.0,
+    hi: float | tuple[float, float] = 1.0,
+) -> np.ndarray:
+    """Clamp **xyxy** boxes to a rectangular region, per axis.
+
+    ``lo``/``hi`` are either scalars (square bound — the normalized
+    [0, 1] frame by default) or ``(x, y)`` pairs for regions whose valid
+    x and y ranges differ, e.g. tile-local coordinates remapped into a
+    non-square global frame.
+
+    This function is *corner-format only*: x-components (columns 0 and
+    2) clamp to the x-bounds, y-components (columns 1 and 3) to the
+    y-bounds.  Center-format boxes must not be passed here — clamping
+    ``(cx, cy, w, h)`` as if it were corners silently corrupts the box
+    (the width/height channels would be clamped to frame coordinates);
+    use :func:`clip_boxes_cxcywh` for that convention.
+    """
+    boxes = np.asarray(boxes_xyxy, dtype=np.float64)
+    if boxes.shape[-1] != 4:
+        raise ValueError(
+            f"expected (..., 4) xyxy boxes, got shape {boxes.shape}"
+        )
+    x_lo, y_lo = _axis_bounds(lo, "lo")
+    x_hi, y_hi = _axis_bounds(hi, "hi")
+    if x_lo > x_hi or y_lo > y_hi:
+        raise ValueError(
+            f"empty clip region: lo={lo!r} exceeds hi={hi!r}"
+        )
+    out = boxes.copy()
+    out[..., 0::2] = np.clip(boxes[..., 0::2], x_lo, x_hi)
+    out[..., 1::2] = np.clip(boxes[..., 1::2], y_lo, y_hi)
+    return out
+
+
+def clip_boxes_cxcywh(
+    boxes_cxcywh: np.ndarray,
+    lo: float | tuple[float, float] = 0.0,
+    hi: float | tuple[float, float] = 1.0,
+) -> np.ndarray:
+    """Clamp center-format boxes to a region, preserving the convention.
+
+    Converts to corners, clips with :func:`clip_boxes`, converts back —
+    so a box half outside the frame shrinks to the visible part instead
+    of having its width/height channels nonsensically clamped.
+    """
+    return xyxy_to_cxcywh(
+        clip_boxes(cxcywh_to_xyxy(boxes_cxcywh), lo=lo, hi=hi)
+    )

@@ -15,10 +15,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .boxes import box_area, cxcywh_to_xyxy
 from .head import decode_grid
 
-__all__ = ["Detection", "nms", "decode_detections"]
+__all__ = ["DEFAULT_MAX_DETECTIONS", "Detection", "nms", "decode_detections"]
+
+#: The one cap on detections kept per image, shared by :func:`nms`,
+#: :func:`decode_detections` and the tiling merge
+#: (:mod:`repro.detection.tiling`).  They used to disagree (100 vs 10),
+#: so an NMS'd candidate list could silently shrink again downstream.
+DEFAULT_MAX_DETECTIONS = 100
 
 
 @dataclass(frozen=True)
@@ -37,7 +44,7 @@ def nms(
     boxes_cxcywh: np.ndarray,
     scores: np.ndarray,
     iou_threshold: float = 0.45,
-    max_detections: int = 100,
+    max_detections: int = DEFAULT_MAX_DETECTIONS,
 ) -> np.ndarray:
     """Greedy non-maximum suppression.
 
@@ -46,7 +53,10 @@ def nms(
     boxes_cxcywh:
         (N, 4) candidate boxes.
     scores:
-        (N,) confidences.
+        (N,) confidences.  Non-finite scores (NaN/inf) are dropped up
+        front and counted on ``detection/nms/nonfinite_dropped`` — a NaN
+        sorted by ``argsort(-scores)`` lands at an arbitrary rank, where
+        it can both survive as a "detection" and suppress valid boxes.
     iou_threshold:
         Candidates overlapping a kept box above this are suppressed.
 
@@ -63,11 +73,21 @@ def nms(
     if len(boxes) == 0:
         return np.empty(0, dtype=int)
 
+    finite = np.isfinite(scores)
+    if not finite.all():
+        obs.inc("detection/nms/nonfinite_dropped",
+                int((~finite).sum()))
+        if not finite.any():
+            return np.empty(0, dtype=int)
+
     xyxy = cxcywh_to_xyxy(boxes)
     areas = box_area(xyxy)
-    order = np.argsort(-scores)
+    # Rank only the finite candidates; indices stay relative to the
+    # caller's original arrays.
+    candidates = np.flatnonzero(finite)
+    order = candidates[np.argsort(-scores[candidates], kind="stable")]
     keep: list[int] = []
-    suppressed = np.zeros(len(boxes), dtype=bool)
+    suppressed = ~finite  # non-finite candidates are out of the running
     for idx in order:
         if suppressed[idx]:
             continue
@@ -117,7 +137,7 @@ def decode_detections(
     anchors: np.ndarray,
     conf_threshold: float = 0.3,
     iou_threshold: float = 0.45,
-    max_detections: int = 10,
+    max_detections: int = DEFAULT_MAX_DETECTIONS,
 ) -> list[list[Detection]]:
     """Full multi-object decode of raw head output.
 
@@ -140,6 +160,11 @@ def decode_detections(
         flat_boxes = boxes[i].reshape(-1, 4)
         flat_conf = conf[i].ravel()
         mask = flat_conf >= conf_threshold
+        if not mask.any():
+            # Hot path for empty frames: no candidate slicing, no NMS,
+            # no Detection allocation.
+            results.append([])
+            continue
         cand_boxes = flat_boxes[mask]
         cand_conf = flat_conf[mask]
         kept = nms(cand_boxes, cand_conf, iou_threshold, max_detections)

@@ -91,6 +91,13 @@ GATE_METRICS = (
     GateMetric("stream/overload_drop_ratio", "BENCH_stream.json",
                ("results", "overload", "drop_ratio"), tolerance=0.5,
                measured=False, abs_floor=0.02, abs_floor_min_cpus=1),
+    # Tiled inference must beat naive downscaling on oracle-matched mean
+    # IoU over the small-object scene set (bench_tiled_inference.py).
+    # The ratio is a same-host, same-minute accuracy comparison, so it
+    # gates on every host.
+    GateMetric("tiling/iou_vs_downscale", "BENCH_tiling.json",
+               ("results", "iou_ratio"), tolerance=0.25,
+               measured=False, abs_floor=1.0, abs_floor_min_cpus=1),
 )
 
 

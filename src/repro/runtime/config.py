@@ -55,6 +55,21 @@ class SessionConfig:
         (:class:`~repro.nn.engine.CompileError`), degrade down the
         ladder ``quant -> engine -> eager`` with a warning at each step
         instead of raising.
+    tiles:
+        ``(rows, cols)`` tiled-inference grid, or ``None`` (default) for
+        whole-frame inference.  With a grid set, a ``Detector`` session
+        splits every input frame into overlapping tiles, runs all tiles
+        of the batch as *one* engine call, and merges per-tile decodes
+        through a global cross-tile NMS (see
+        :mod:`repro.detection.tiling` — image-space tiling, not the FPGA
+        loop tiling).  ``run``/``submit`` results become packed
+        ``(max_det, 5)`` detection arrays per frame instead of single
+        ``(4,)`` boxes.  Requires a ``Detector`` model.
+    tile_overlap:
+        Overlap ratio between adjacent tiles in [0, 1); objects up to
+        ``tile_overlap * tile`` wide are guaranteed whole in some tile.
+    tile_max_detections:
+        Rows per frame in the packed detection output (global NMS cap).
     """
 
     backend: str = "engine"
@@ -62,6 +77,9 @@ class SessionConfig:
     pipeline: bool = False
     microbatch: int = 0
     fallback: bool = True
+    tiles: tuple[int, int] | None = None
+    tile_overlap: float = 0.25
+    tile_max_detections: int = 32
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -80,6 +98,20 @@ class SessionConfig:
         object.__setattr__(self, "quant_bits", bits)
         if self.microbatch < 0:
             raise ValueError("microbatch must be >= 0 (0 disables tiling)")
+        if self.tiles is not None:
+            grid = tuple(self.tiles)
+            if len(grid) != 2 or not all(
+                isinstance(g, int) and g >= 1 for g in grid
+            ):
+                raise ValueError(
+                    f"tiles must be a (rows, cols) pair of ints >= 1, "
+                    f"got {self.tiles!r}"
+                )
+            object.__setattr__(self, "tiles", grid)
+        if not 0.0 <= self.tile_overlap < 1.0:
+            raise ValueError("tile_overlap must be in [0, 1)")
+        if self.tile_max_detections < 1:
+            raise ValueError("tile_max_detections must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -105,6 +105,10 @@ class Session:
         self._warmup_shape: tuple[int, ...] | None = None
         self._procpool = None
         self._streams: list = []
+        #: Tiled-inference front-end (``SessionConfig.tiles``): splits
+        #: frames into one batched tile fan-out and merges detections
+        #: through a global cross-tile NMS.  ``None`` = whole frames.
+        self._tiler = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -153,6 +157,24 @@ class Session:
         config = config if config is not None else SessionConfig()
         postprocess = None
         name = type(model).__name__
+
+        tiler = None
+        if config.tiles is not None:
+            from ..detection.model import Detector
+            from ..detection.tiling import FrameTiler
+
+            if not isinstance(model, Detector):
+                raise ValueError(
+                    f"SessionConfig.tiles requires a Detector (the tiler "
+                    f"decodes and merges the head's grid predictions); "
+                    f"got {type(model).__name__}"
+                )
+            rows, cols = config.tiles
+            tiler = FrameTiler(
+                model.head.anchors, rows, cols,
+                overlap=config.tile_overlap,
+                max_detections=config.tile_max_detections,
+            )
 
         if isinstance(model, CompiledNet):
             session = cls(
@@ -220,6 +242,11 @@ class Session:
                           postprocess, name)
             if backend in ("engine", "quant"):
                 session._eager_forward = target
+        if tiler is not None:
+            # The tiler's merge step replaces the single-box decode:
+            # split -> one batched forward -> remap -> global NMS.
+            session._tiler = tiler
+            session._postprocess = None
         if serve is not None:
             session._serve_config = serve
         session._calibration = calibration
@@ -293,6 +320,9 @@ class Session:
     def _run_batch(self, x: np.ndarray) -> np.ndarray:
         """Forward + postprocess with microbatch tiling, thread-agnostic
         via ``fn``: used by both :meth:`run` and server workers."""
+        if self._tiler is not None:
+            return _tiled(self._tiler.wrap(self._forward), None, x,
+                          self.config.microbatch)
         return _tiled(self._forward, self._postprocess, x,
                       self.config.microbatch)
 
@@ -327,12 +357,16 @@ class Session:
 
         from ..nn.engine import ThreadedPipeline
 
-        post = self._postprocess
+        if self._tiler is not None:
+            dnn = self._tiler.wrap(self._forward)
+            post = None
+        else:
+            dnn, post = self._forward, self._postprocess
         pipe = ThreadedPipeline([
             ("fetch", lambda f: np.asarray(f, dtype=np.float32)),
             ("pre-process",
              preprocess if preprocess is not None else (lambda f: f)),
-            ("dnn", lambda f: self._forward(f if f.ndim == 4 else f[None])),
+            ("dnn", lambda f: dnn(f if f.ndim == 4 else f[None])),
             ("post-process",
              (lambda raw: post(raw)) if post is not None else (lambda r: r)),
         ])
@@ -346,7 +380,10 @@ class Session:
     def runner_for_thread(self):
         """A batch-runner callable safe to own by one worker thread."""
         fn = self._clone_forward()
-        post = self._postprocess
+        if self._tiler is not None:
+            fn, post = self._tiler.wrap(fn), None
+        else:
+            post = self._postprocess
         microbatch = self.config.microbatch
 
         def runner(x: np.ndarray) -> np.ndarray:
@@ -368,7 +405,10 @@ class Session:
         if self._eager_forward is None:
             return None
         fn = self._eager_forward
-        post = self._postprocess
+        if self._tiler is not None:
+            fn, post = self._tiler.wrap(fn), None
+        else:
+            post = self._postprocess
         microbatch = self.config.microbatch
 
         def runner(x: np.ndarray) -> np.ndarray:

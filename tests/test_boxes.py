@@ -12,6 +12,7 @@ from repro.detection.boxes import (
     box_area,
     box_iou,
     clip_boxes,
+    clip_boxes_cxcywh,
     cxcywh_to_xyxy,
     pairwise_iou,
     xyxy_to_cxcywh,
@@ -82,6 +83,57 @@ class TestIoU:
     def test_clip(self):
         b = np.array([-0.5, 0.2, 1.5, 0.8])
         np.testing.assert_allclose(clip_boxes(b), [0.0, 0.2, 1.0, 0.8])
+
+
+class TestClipBoxes:
+    """Regression tests for the per-axis clip fix.
+
+    The old ``clip_boxes`` applied one scalar (lo, hi) to all four
+    coordinates, which is wrong the moment the clip region is a
+    non-square pixel frame: x must clip to width and y to height.
+    """
+
+    def test_per_axis_bounds(self):
+        # A 2x1 region: the old scalar clip would squash x into [0, 1]
+        # and this assertion would fail.
+        b = np.array([[-0.5, -0.5, 2.5, 1.5]])
+        out = clip_boxes(b, lo=(0.0, 0.0), hi=(2.0, 1.0))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0, 1.0]])
+
+    def test_axis_order_is_x_then_y(self):
+        # y-only clipping must leave x untouched and vice versa
+        b = np.array([[0.5, 5.0, 1.5, 9.0]])
+        out = clip_boxes(b, lo=(0.0, 6.0), hi=(10.0, 8.0))
+        np.testing.assert_allclose(out, [[0.5, 6.0, 1.5, 8.0]])
+
+    def test_scalar_bounds_still_work(self):
+        b = np.array([[-1.0, -1.0, 2.0, 2.0]])
+        np.testing.assert_allclose(clip_boxes(b, lo=0.0, hi=1.0),
+                                   [[0.0, 0.0, 1.0, 1.0]])
+
+    def test_input_not_mutated(self):
+        b = np.array([[-0.5, 0.2, 1.5, 0.8]])
+        snapshot = b.copy()
+        clip_boxes(b)
+        np.testing.assert_array_equal(b, snapshot)
+
+    def test_empty_region_raises(self):
+        with pytest.raises(ValueError, match="empty clip region"):
+            clip_boxes(np.zeros((1, 4)), lo=(2.0, 0.0), hi=(1.0, 1.0))
+
+    def test_bad_bounds_shape_raises(self):
+        with pytest.raises(ValueError, match="scalar or an"):
+            clip_boxes(np.zeros((1, 4)), hi=(1.0, 2.0, 3.0))
+
+    def test_bad_box_shape_raises(self):
+        with pytest.raises(ValueError):
+            clip_boxes(np.zeros((1, 3)))
+
+    def test_cxcywh_clip_shrinks_overhang(self):
+        # a center-format box hanging off the right edge of a 2x1 frame
+        out = clip_boxes_cxcywh(np.array([[1.9, 0.5, 0.4, 0.4]]),
+                                lo=(0.0, 0.0), hi=(2.0, 1.0))
+        np.testing.assert_allclose(out, [[1.85, 0.5, 0.3, 0.4]])
 
 
 class TestAnchors:

@@ -66,6 +66,77 @@ class TestDecode:
         np.testing.assert_allclose(box[0, :2], [0.25, 0.75])
 
 
+class TestNMSNonFinite:
+    """Regression tests for NaN/inf confidence handling in ``nms``.
+
+    ``np.argsort(-scores)`` sorts NaN arbitrarily (last under numpy's
+    total order, but that still *kept* the NaN box once the finite ones
+    ran out), so a single NaN score could both survive NMS and suppress
+    real neighbours.  The fix drops non-finite scores up front and
+    counts them on the ``detection/nms/nonfinite_dropped`` counter.
+    """
+
+    def boxes(self):
+        # three well-separated boxes + one overlapping the first
+        return np.array([
+            [0.2, 0.2, 0.1, 0.1],
+            [0.5, 0.5, 0.1, 0.1],
+            [0.8, 0.8, 0.1, 0.1],
+            [0.21, 0.21, 0.1, 0.1],
+        ])
+
+    def test_nan_score_never_kept(self):
+        from repro.detection.postprocess import nms
+
+        scores = np.array([0.9, np.nan, 0.7, 0.8])
+        keep = nms(self.boxes(), scores, iou_threshold=0.5)
+        assert 1 not in keep
+        assert np.isfinite(scores[keep]).all()
+
+    def test_nan_score_never_suppresses(self):
+        from repro.detection.postprocess import nms
+
+        # NaN box sits exactly on top of box 0: it must not knock the
+        # real detection out
+        boxes = np.array([[0.2, 0.2, 0.1, 0.1], [0.2, 0.2, 0.1, 0.1]])
+        keep = nms(boxes, np.array([0.9, np.nan]), iou_threshold=0.5)
+        np.testing.assert_array_equal(keep, [0])
+
+    def test_inf_scores_dropped_too(self):
+        from repro.detection.postprocess import nms
+
+        scores = np.array([np.inf, 0.6, -np.inf, 0.5])
+        keep = nms(self.boxes(), scores, iou_threshold=0.5)
+        assert set(keep) == {1, 3}
+
+    def test_all_nonfinite_returns_empty(self):
+        from repro.detection.postprocess import nms
+
+        keep = nms(self.boxes(), np.full(4, np.nan), iou_threshold=0.5)
+        assert keep.size == 0
+        assert keep.dtype.kind == "i"
+
+    def test_drop_counter_increments(self):
+        from repro import obs
+        from repro.detection.postprocess import nms
+
+        scores = np.array([0.9, np.nan, np.inf, 0.8])
+        with obs.recording() as rec:
+            nms(self.boxes(), scores, iou_threshold=0.5)
+        counters = [r for r in rec.records()
+                    if r.get("type") == "counter"
+                    and r["name"] == "detection/nms/nonfinite_dropped"]
+        assert counters and counters[-1]["value"] == 2
+
+    def test_finite_scores_untouched_by_fix(self):
+        from repro.detection.postprocess import nms
+
+        scores = np.array([0.9, 0.6, 0.7, 0.8])
+        keep = nms(self.boxes(), scores, iou_threshold=0.5)
+        # box 3 overlaps box 0 and loses; the rest stay, best-first
+        np.testing.assert_array_equal(keep, [0, 2, 1])
+
+
 class TestYoloLoss:
     def test_targets_mark_single_responsible_cell(self):
         loss = YoloLoss(DEFAULT_ANCHORS)

@@ -1,0 +1,400 @@
+"""Tiled inference: plan geometry, split/remap/merge, cross-tile NMS,
+Session wiring, and the CLI grid parser.
+
+The seam tests hand-craft raw head tensors (inverting the YOLO decode)
+so the merge layer is exercised with *known* detections instead of
+whatever an untrained network hallucinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import Detector
+from repro.detection.anchors import DEFAULT_ANCHORS
+from repro.detection.postprocess import (
+    DEFAULT_MAX_DETECTIONS,
+    decode_detections,
+)
+from repro.detection.tiling import (
+    PAD_SCORE,
+    FrameTiler,
+    TilePlan,
+    split_frames,
+    top_boxes,
+    unpack_detections,
+)
+
+
+def logit(p: float) -> float:
+    return float(np.log(p / (1.0 - p)))
+
+
+def encode_box(
+    raw: np.ndarray,
+    anchors: np.ndarray,
+    image: int,
+    box_cxcywh,
+    conf: float = 0.9,
+    anchor: int = 0,
+) -> None:
+    """Write one detection into ``raw`` by inverting ``decode_grid``."""
+    _, ch, gh, gw = raw.shape
+    cx, cy, w, h = box_cxcywh
+    col = min(int(cx * gw), gw - 1)
+    row = min(int(cy * gh), gh - 1)
+    fx = np.clip(cx * gw - col, 1e-4, 1 - 1e-4)
+    fy = np.clip(cy * gh - row, 1e-4, 1 - 1e-4)
+    k = anchors.shape[0]
+    p = raw.reshape(raw.shape[0], k, 5, gh, gw)
+    p[image, anchor, 0, row, col] = logit(float(fx))
+    p[image, anchor, 1, row, col] = logit(float(fy))
+    p[image, anchor, 2, row, col] = np.log(w / anchors[anchor, 0])
+    p[image, anchor, 3, row, col] = np.log(h / anchors[anchor, 1])
+    p[image, anchor, 4, row, col] = logit(conf)
+
+
+def blank_raw(n: int, gh: int, gw: int, anchors: np.ndarray) -> np.ndarray:
+    """Raw head output decoding to ~zero confidence everywhere."""
+    raw = np.zeros((n, anchors.shape[0] * 5, gh, gw))
+    raw.reshape(n, anchors.shape[0], 5, gh, gw)[:, :, 4] = -12.0
+    return raw
+
+
+class TestTilePlan:
+    def test_grid_covers_frame(self):
+        plan = TilePlan.grid((96, 192), 2, 3, overlap=0.25)
+        th, tw = plan.tile_hw
+        assert plan.y_starts[0] == 0 and plan.x_starts[0] == 0
+        assert plan.y_starts[-1] + th == 96
+        assert plan.x_starts[-1] + tw == 192
+        assert plan.num_tiles == 6
+        # achieved overlap is at least the requested ratio
+        y_stride = plan.y_starts[1] - plan.y_starts[0]
+        assert th - y_stride >= 0.25 * th - 1  # -1 for rounding
+
+    def test_single_tile_is_the_frame(self):
+        plan = TilePlan.grid((48, 96), 1, 1, overlap=0.5)
+        assert plan.tile_hw == (48, 96)
+        assert plan.origins() == [(0, 0)]
+
+    def test_divisor_alignment(self):
+        plan = TilePlan.grid((96, 192), 2, 2, overlap=0.25, divisor=8)
+        assert plan.tile_hw[0] % 8 == 0
+        assert plan.tile_hw[1] % 8 == 0
+
+    def test_overlap_at_least_tile_size_raises(self):
+        with pytest.raises(ValueError, match="overlap"):
+            TilePlan.grid((96, 96), 2, 2, overlap=1.0)
+        with pytest.raises(ValueError, match="overlap"):
+            TilePlan.grid((96, 96), 2, 2, overlap=1.5)
+
+    def test_tile_outside_frame_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            TilePlan((64, 64), (32, 32), y_starts=(0, 40), x_starts=(0,))
+        with pytest.raises(ValueError, match="outside"):
+            TilePlan((64, 64), (32, 32), y_starts=(0,), x_starts=(-8,))
+
+    def test_tile_larger_than_frame_raises(self):
+        with pytest.raises(ValueError, match="fit"):
+            TilePlan((32, 32), (64, 64), y_starts=(0,), x_starts=(0,))
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            TilePlan.grid((64, 64), 0, 2)
+        with pytest.raises(ValueError):
+            TilePlan((64, 64), (32, 32), y_starts=(), x_starts=(0,))
+
+
+class TestSplit:
+    def test_shapes_and_content(self):
+        x = np.arange(2 * 3 * 32 * 64, dtype=np.float32).reshape(2, 3, 32, 64)
+        plan = TilePlan.grid((32, 64), 2, 2, overlap=0.0)
+        tiles = split_frames(x, plan)
+        assert tiles.shape == (8, 3, 16, 32)
+        # frame-major, row-major within the frame
+        np.testing.assert_array_equal(tiles[0], x[0, :, :16, :32])
+        np.testing.assert_array_equal(tiles[1], x[0, :, :16, 32:])
+        np.testing.assert_array_equal(tiles[2], x[0, :, 16:, :32])
+        np.testing.assert_array_equal(tiles[4], x[1, :, :16, :32])
+
+    def test_mismatched_frame_raises(self):
+        plan = TilePlan.grid((32, 64), 2, 2)
+        with pytest.raises(ValueError, match="does not match"):
+            split_frames(np.zeros((1, 3, 48, 64)), plan)
+
+
+class TestMerge:
+    """Hand-crafted raw tensors through the remap + global-NMS layer."""
+
+    def tiler(self, rows=2, cols=2, **kw):
+        kw.setdefault("overlap", 0.25)
+        kw.setdefault("divisor", 1)
+        return FrameTiler(DEFAULT_ANCHORS, rows, cols, **kw)
+
+    def test_seam_object_yields_exactly_one_detection(self):
+        """An object on a tile seam appears in several tiles; the global
+        cross-tile NMS must collapse the near-identical remapped boxes
+        into exactly one."""
+        tiler = self.tiler()
+        plan = tiler.plan_for((96, 192))
+        th, tw = plan.tile_hw
+        # Object centered on the vertical seam between the two columns:
+        # global center at the overlap midpoint of row 0.
+        x_mid = (plan.x_starts[1] + (plan.x_starts[0] + tw)) / 2
+        gbox = np.array([x_mid / 192, 0.25, 0.10, 0.15])  # global norm
+
+        gh, gw = th // 8, tw // 8
+        raw = blank_raw(plan.num_tiles, gh, gw, DEFAULT_ANCHORS)
+        hits = 0
+        for t, (y0, x0) in enumerate(plan.origins()):
+            # tile-local normalized box
+            lx = (gbox[0] * 192 - x0) / tw
+            ly = (gbox[1] * 96 - y0) / th
+            lw, lh = gbox[2] * 192 / tw, gbox[3] * 96 / th
+            if 0 < lx < 1 and 0 < ly < 1:
+                encode_box(raw, DEFAULT_ANCHORS, t, (lx, ly, lw, lh),
+                           conf=0.9)
+                hits += 1
+        assert hits >= 2, "object must straddle at least two tiles"
+
+        packed = tiler.merge(raw, 1, plan)
+        dets = unpack_detections(packed)[0]
+        assert len(dets) == 1
+        np.testing.assert_allclose(dets[0].box, gbox, atol=1e-3)
+
+    def test_distinct_objects_survive_merge(self):
+        tiler = self.tiler()
+        plan = tiler.plan_for((96, 192))
+        th, tw = plan.tile_hw
+        gh, gw = th // 8, tw // 8
+        raw = blank_raw(plan.num_tiles, gh, gw, DEFAULT_ANCHORS)
+        # one object per tile, each well inside its own tile
+        boxes = []
+        for t, (y0, x0) in enumerate(plan.origins()):
+            local = (0.5, 0.5, 0.1, 0.12)
+            encode_box(raw, DEFAULT_ANCHORS, t, local, conf=0.8)
+            boxes.append([(x0 + 0.5 * tw) / 192, (y0 + 0.5 * th) / 96,
+                          0.1 * tw / 192, 0.12 * th / 96])
+        packed = tiler.merge(raw, 1, plan)
+        dets = unpack_detections(packed)[0]
+        # tiles overlap, so center-of-tile objects can appear in a
+        # neighbour's margin; all four *distinct* centers must survive
+        got = np.array(sorted((d.box[0], d.box[1]) for d in dets))
+        want = np.array(sorted((b[0], b[1]) for b in boxes))
+        assert len(dets) == len(boxes)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_single_tile_equals_untiled_decode(self):
+        """A 1x1 'grid' must reproduce the plain whole-frame decode."""
+        rng = np.random.default_rng(3)
+        raw = rng.normal(0, 1.5, (1, len(DEFAULT_ANCHORS) * 5, 6, 12))
+        tiler = self.tiler(1, 1, overlap=0.0, max_detections=16)
+        plan = tiler.plan_for((48, 96))
+        packed = tiler.merge(raw, 1, plan)
+        tiled = unpack_detections(packed)[0]
+        plain = decode_detections(raw, DEFAULT_ANCHORS,
+                                  max_detections=16)[0]
+        assert len(tiled) == len(plain)
+        for a, b in zip(tiled, plain):
+            # the tiled path clips to the frame; inside it they agree
+            clipped = np.clip(b.xyxy, 0.0, 1.0)
+            np.testing.assert_allclose(a.xyxy, clipped, atol=1e-6)
+            np.testing.assert_allclose(a.score, b.score, atol=1e-9)
+
+    def test_merge_batch_mismatch_raises(self):
+        tiler = self.tiler()
+        plan = tiler.plan_for((96, 192))
+        raw = blank_raw(3, 6, 12, DEFAULT_ANCHORS)  # not N * 4 tiles
+        with pytest.raises(ValueError, match="tiles"):
+            tiler.merge(raw, 1, plan)
+
+    def test_empty_frame_packs_all_padding(self):
+        tiler = self.tiler(max_detections=5)
+        plan = tiler.plan_for((96, 192))
+        th, tw = plan.tile_hw
+        raw = blank_raw(plan.num_tiles, th // 8, tw // 8, DEFAULT_ANCHORS)
+        packed = tiler.merge(raw, 1, plan)
+        assert packed.shape == (1, 5, 5)
+        assert (packed[:, :, 4] == PAD_SCORE).all()
+        assert unpack_detections(packed) == [[]]
+        np.testing.assert_array_equal(top_boxes(packed), np.zeros((1, 4)))
+
+    def test_bad_tiler_params_raise(self):
+        with pytest.raises(ValueError):
+            self.tiler(0, 2)
+        with pytest.raises(ValueError):
+            self.tiler(2, 2, overlap=1.0)
+        with pytest.raises(ValueError):
+            self.tiler(2, 2, max_detections=0)
+
+
+class TestPacked:
+    def test_unpack_roundtrip_order(self):
+        packed = np.full((1, 3, 5), PAD_SCORE, dtype=np.float32)
+        packed[0, 0] = [0.5, 0.5, 0.1, 0.1, 0.9]
+        packed[0, 1] = [0.2, 0.2, 0.05, 0.05, 0.4]
+        dets = unpack_detections(packed)[0]
+        assert [d.score for d in dets] == pytest.approx([0.9, 0.4],
+                                                        abs=1e-6)
+        np.testing.assert_allclose(top_boxes(packed)[0],
+                                   [0.5, 0.5, 0.1, 0.1], atol=1e-6)
+
+    def test_unpack_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            unpack_detections(np.zeros((1, 3, 4)))
+
+
+@pytest.fixture(scope="module")
+def tiny_detector():
+    from repro.core import SkyNetBackbone
+
+    det = Detector(SkyNetBackbone("A", width_mult=0.125,
+                                  rng=np.random.default_rng(0)))
+    det.eval()
+    return det
+
+
+class TestSessionTiling:
+    def make_session(self, det, backend="engine", **kw):
+        from repro.runtime import Session, SessionConfig
+
+        kw.setdefault("tiles", (2, 2))
+        kw.setdefault("tile_max_detections", 8)
+        return Session.load(det, SessionConfig(backend=backend, **kw))
+
+    def test_run_returns_packed_global_detections(self, tiny_detector):
+        session = self.make_session(tiny_detector)
+        x = np.random.default_rng(1).normal(
+            0, 1, (2, 3, 96, 192)).astype(np.float32)
+        out = session.run(x)
+        assert out.shape == (2, 8, 5)
+        single = session.run(x[0])
+        assert single.shape == (8, 5)
+        np.testing.assert_allclose(single, out[0], atol=1e-5)
+        session.close()
+
+    def test_engine_sees_one_batched_call(self, tiny_detector):
+        from repro import obs
+
+        session = self.make_session(tiny_detector)
+        x = np.zeros((1, 3, 96, 192), np.float32)
+        with obs.recording() as rec:
+            session.run(x)
+        forwards = [r for r in rec.records()
+                    if r.get("type") == "span"
+                    and r["name"] == "engine/forward"]
+        assert [f["attrs"]["batch"] for f in forwards] == [4]
+        session.close()
+
+    def test_eager_and_engine_tiled_agree(self, tiny_detector):
+        x = np.random.default_rng(2).normal(
+            0, 1, (1, 3, 96, 192)).astype(np.float32)
+        engine = self.make_session(tiny_detector)
+        eager = self.make_session(tiny_detector, backend="eager")
+        np.testing.assert_allclose(engine.run(x), eager.run(x), atol=1e-4)
+        engine.close()
+        eager.close()
+
+    def test_worker_and_fallback_runners_tile(self, tiny_detector):
+        session = self.make_session(tiny_detector)
+        x = np.random.default_rng(3).normal(
+            0, 1, (2, 3, 96, 192)).astype(np.float32)
+        want = session.run(x)
+        np.testing.assert_allclose(session.runner_for_thread()(x), want,
+                                   atol=1e-5)
+        np.testing.assert_allclose(session.fallback_runner_for_thread()(x),
+                                   want, atol=1e-4)
+        session.close()
+
+    def test_serve_path_ships_packed_detections(self, tiny_detector):
+        session = self.make_session(tiny_detector)
+        x = np.random.default_rng(4).normal(
+            0, 1, (3, 96, 192)).astype(np.float32)
+        result = session.submit(x).result(timeout=30.0)
+        assert result.ok
+        assert result.value.shape == (8, 5)
+        np.testing.assert_allclose(result.value, session.run(x), atol=1e-5)
+        session.close()
+
+    def test_non_detector_model_rejected(self):
+        from repro.nn.layers import PWConv1x1
+        from repro.runtime import Session, SessionConfig
+
+        with pytest.raises(ValueError, match="Detector"):
+            Session.load(PWConv1x1(3, 8),
+                         SessionConfig(tiles=(2, 2)))
+
+    def test_config_validation(self):
+        from repro.runtime import SessionConfig
+
+        with pytest.raises(ValueError, match="tiles"):
+            SessionConfig(tiles=(0, 2))
+        with pytest.raises(ValueError, match="tile_overlap"):
+            SessionConfig(tiles=(2, 2), tile_overlap=1.0)
+        with pytest.raises(ValueError, match="tile_max_detections"):
+            SessionConfig(tiles=(2, 2), tile_max_detections=0)
+        assert SessionConfig(tiles=(2, 2)) == SessionConfig(tiles=(2, 2))
+
+
+class TestRendererMulti:
+    def test_render_multi_small_disjoint_objects(self):
+        from repro.datasets.renderer import SceneRenderer
+
+        renderer = SceneRenderer(image_hw=(64, 128))
+        img, specs = renderer.render_multi(
+            4, np.random.default_rng(0), area_range=(0.001, 0.008)
+        )
+        assert img.shape == (3, 64, 128)
+        assert img.dtype == np.float32
+        assert 1 <= len(specs) <= 4
+        for s in specs:
+            assert s.w * s.h <= 0.02  # small-object regime (pre-clamp)
+        # labeled boxes must be pairwise disjoint
+        for i, a in enumerate(specs):
+            for b in specs[i + 1:]:
+                ax1, ax2 = a.cx - a.w / 2, a.cx + a.w / 2
+                bx1, bx2 = b.cx - b.w / 2, b.cx + b.w / 2
+                ay1, ay2 = a.cy - a.h / 2, a.cy + a.h / 2
+                by1, by2 = b.cy - b.h / 2, b.cy + b.h / 2
+                assert (ax2 <= bx1 or bx2 <= ax1
+                        or ay2 <= by1 or by2 <= ay1)
+
+    def test_render_multi_validation(self):
+        from repro.datasets.renderer import SceneRenderer
+
+        renderer = SceneRenderer(image_hw=(32, 32))
+        with pytest.raises(ValueError):
+            renderer.render_multi(0)
+        with pytest.raises(ValueError):
+            renderer.sample_object(area_range=(0.5, 0.1))
+
+
+class TestCLI:
+    def test_parse_tiles(self):
+        from repro.cli import _parse_tiles
+
+        assert _parse_tiles(None) is None
+        assert _parse_tiles("2x4") == (2, 4)
+        assert _parse_tiles("1X3") == (1, 3)
+        with pytest.raises(SystemExit):
+            _parse_tiles("2x")
+        with pytest.raises(SystemExit):
+            _parse_tiles("abc")
+
+
+class TestMaxDetectionsUnified:
+    def test_one_constant_everywhere(self):
+        import inspect
+
+        from repro.detection.postprocess import decode_detections, nms
+
+        assert (inspect.signature(nms).parameters["max_detections"].default
+                is DEFAULT_MAX_DETECTIONS)
+        assert (inspect.signature(decode_detections)
+                .parameters["max_detections"].default
+                is DEFAULT_MAX_DETECTIONS)
+        assert (inspect.signature(FrameTiler.__init__)
+                .parameters["max_detections"].default
+                is DEFAULT_MAX_DETECTIONS)
